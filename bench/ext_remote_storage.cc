@@ -1,0 +1,70 @@
+/**
+ * @file
+ * §VI-D extension: BM-Store serving a *remote* volume next to local
+ * SSDs. One tenant namespace is dedicated to a local P4510, another
+ * to a 25 GbE-attached storage server — through the same engine, VFs
+ * and management plane. Quantifies what the wire costs.
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+#include "harness/testbeds.hh"
+#include "remote/network.hh"
+#include "remote/remote_device.hh"
+#include "remote/storage_server.hh"
+#include "workload/fio.hh"
+
+using namespace bms;
+
+int
+main()
+{
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 2;
+    harness::BmStoreTestbed bed(cfg);
+    auto &sim = bed.sim();
+
+    // Turn back-end slot 1 into a remote volume via hot-plug.
+    remote::StorageServer::Config scfg;
+    auto *server = sim.make<remote::StorageServer>(sim, "target", scfg);
+    int vol = server->addVolume({0, 0, sim::gib(1536)});
+    auto *link = sim.make<remote::NetworkLink>(sim, "net");
+    auto *rdev = sim.make<remote::RemoteNvmeDevice>(sim, "rvol", *link,
+                                                    *server, vol);
+    bool swapped = false;
+    bed.controller().hotPlug().replace(
+        1, *rdev, [&](core::HotPlugManager::Report r) {
+            swapped = r.ok;
+        });
+    bed.runUntilTrue([&] { return swapped; }, sim::seconds(20));
+
+    host::NvmeDriver &local = bed.attachTenant(
+        0, sim::gib(512), core::NamespaceManager::Policy::Dedicate,
+        core::QosLimits(), nullptr, /*pin_slot=*/0);
+    host::NvmeDriver &rem = bed.attachTenant(
+        1, sim::gib(512), core::NamespaceManager::Policy::Dedicate,
+        core::QosLimits(), nullptr, /*pin_slot=*/1);
+
+    harness::Table t({"case", "local IOPS", "local AL(us)",
+                      "remote IOPS", "remote AL(us)"});
+    for (const char *name : {"rand-r-1", "rand-r-128", "seq-r-256"}) {
+        workload::FioJobSpec spec;
+        for (const auto &s : workload::fioTableIv())
+            if (s.caseName == name)
+                spec = s;
+        workload::FioResult l = harness::runFio(sim, local, spec);
+        workload::FioResult r = harness::runFio(sim, rem, spec);
+        t.addRow({name, harness::Table::fmt(l.iops, 0),
+                  harness::Table::fmt(l.avgLatencyUs()),
+                  harness::Table::fmt(r.iops, 0),
+                  harness::Table::fmt(r.avgLatencyUs())});
+    }
+    t.print("§VI-D extension — local vs remote namespace through the "
+            "same BM-Store engine");
+    std::printf("\nthe remote volume pays ~25 us of wire round trip and "
+                "is bandwidth-capped by the 25 GbE link (~2.9 GB/s); "
+                "everything else — VFs, LBA mapping, QoS, hot-plug — is "
+                "unchanged.\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Reproduces paper Fig. 15 and Table IX: the VM-visible IOPS timeline
+ * while the SSD firmware is hot-upgraded twice (once under 4K random
+ * read, once under 4K random write), plus the upgrade-time breakdown.
+ *
+ * The upgrade is triggered from the remote console over MCTP/NVMe-MI —
+ * the host OS is never involved. Tenant I/O stalls for the activation
+ * window but no request fails (the pause is below the NVMe timeout).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "harness/testbeds.hh"
+#include "sim/stats.hh"
+#include "workload/fio.hh"
+
+using namespace bms;
+
+namespace {
+
+struct UpgradeRun
+{
+    sim::TimeSeries iops{sim::milliseconds(200)};
+    std::vector<core::MiUpgradeResult> reports;
+    std::uint64_t ioErrors = 0;
+};
+
+UpgradeRun
+runCase(workload::FioPattern pattern, const char *name)
+{
+    UpgradeRun out;
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 1;
+    harness::BmStoreTestbed bed(cfg);
+    auto vm = bed.addVm(sim::gib(256));
+
+    workload::FioJobSpec spec;
+    spec.pattern = pattern;
+    spec.blockSize = 4096;
+    spec.iodepth = 16;
+    spec.numjobs = 4;
+    spec.caseName = name;
+    spec.rampTime = 0;
+    spec.runTime = sim::seconds(26);
+
+    auto *runner = bed.sim().make<workload::FioRunner>(
+        bed.sim(), std::string("fio.") + name, *vm.driver, spec);
+    runner->onCompletion = [&out](sim::Tick t, std::uint32_t) {
+        out.iops.record(t);
+    };
+    runner->start();
+
+    // Two hot-upgrades during the run (paper: "performed twice").
+    for (sim::Tick at : {sim::seconds(5), sim::seconds(15)}) {
+        bed.sim().scheduleAt(at, [&bed, &out] {
+            bed.console().firmwareUpgrade(
+                bed.controller().endpoint().eid(), /*slot=*/0,
+                /*image_bytes=*/4 * 1024 * 1024,
+                [&out](core::MiUpgradeResult r) {
+                    out.reports.push_back(r);
+                });
+        });
+    }
+
+    while (!runner->finished())
+        bed.sim().runUntil(bed.sim().now() + sim::milliseconds(50));
+    out.ioErrors = runner->result().errors;
+    return out;
+}
+
+void
+printTimeline(const char *title, const UpgradeRun &run)
+{
+    std::printf("\n== Fig. 15 — VM IOPS timeline during hot-upgrade "
+                "(%s) ==\n",
+                title);
+    std::printf("  (one row per 200 ms; '#' ≈ 8%% of peak)\n");
+    double peak = 0.0;
+    for (std::size_t i = 0; i < run.iops.size(); ++i)
+        peak = std::max(peak, run.iops.rateAt(i));
+    for (std::size_t i = 0; i < run.iops.size(); ++i) {
+        double r = run.iops.rateAt(i);
+        int bars = peak > 0 ? static_cast<int>(r / peak * 12.0) : 0;
+        std::printf("  t=%5.1fs %8.0f IOPS |", 0.2 * static_cast<double>(i),
+                    r);
+        for (int b = 0; b < bars; ++b)
+            std::printf("#");
+        std::printf("\n");
+    }
+    std::printf("  I/O errors observed by the tenant: %llu\n",
+                static_cast<unsigned long long>(run.ioErrors));
+}
+
+} // namespace
+
+int
+main()
+{
+    UpgradeRun rd = runCase(workload::FioPattern::RandRead, "rand-read");
+    UpgradeRun wr = runCase(workload::FioPattern::RandWrite,
+                            "rand-write");
+
+    printTimeline("4K random read", rd);
+    printTimeline("4K random write", wr);
+
+    harness::Table t({"run", "upgrade#", "store ctx (ms)",
+                      "firmware (ms)", "reload ctx (ms)", "total (s)",
+                      "I/O pause (s)", "BMS processing (ms)"});
+    auto add = [&t](const char *run, const UpgradeRun &u) {
+        int i = 1;
+        for (const auto &r : u.reports) {
+            t.addRow({run, harness::Table::fmtInt(i++),
+                      harness::Table::fmt(r.storeMs),
+                      harness::Table::fmt(r.firmwareMs, 0),
+                      harness::Table::fmt(r.reloadMs),
+                      harness::Table::fmt(r.totalMs / 1000.0, 2),
+                      harness::Table::fmt(r.ioPauseMs / 1000.0, 2),
+                      harness::Table::fmt(r.storeMs + r.reloadMs, 0)});
+        }
+    };
+    add("rand-read", rd);
+    add("rand-write", wr);
+    t.print("Table IX — average time for hot-upgrade of SSD firmware");
+
+    std::printf("\npaper reference: total hot-upgrade time ~6-9 s, of "
+                "which BM-Store's own processing is ~100 ms; tenants "
+                "see an I/O stall but no errors (pause < NVMe "
+                "timeout).\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the BMS-Engine hot-path
+ * components and the simulation kernel. These are the operations the
+ * FPGA performs per command at 250 MHz; the software model must also
+ * be cheap so the figure benches stay fast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine/global_prp.hh"
+#include "core/engine/lba_map.hh"
+#include "core/engine/qos.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+using namespace bms;
+
+static void
+BM_LbaMapTranslate(benchmark::State &state)
+{
+    core::LbaMapTable mt;
+    for (int i = 0; i < 24; ++i)
+        mt.appendChunk(static_cast<std::uint8_t>(i),
+                       static_cast<std::uint8_t>(i % 4));
+    std::uint64_t lba = 0;
+    std::uint64_t step = mt.geometry().chunkBlocks / 3 + 7;
+    std::uint64_t limit = 24 * mt.geometry().chunkBlocks;
+    for (auto _ : state) {
+        auto m = mt.translate(lba);
+        benchmark::DoNotOptimize(m);
+        lba += step;
+        if (lba >= limit)
+            lba -= limit;
+    }
+}
+BENCHMARK(BM_LbaMapTranslate);
+
+static void
+BM_GlobalPrpEncode(benchmark::State &state)
+{
+    std::uint64_t addr = 0x1234'5000;
+    std::uint8_t fn = 0;
+    for (auto _ : state) {
+        std::uint64_t g = core::GlobalPrp::encode(addr, fn, false);
+        benchmark::DoNotOptimize(g);
+        addr += 4096;
+        fn = static_cast<std::uint8_t>((fn + 1) & 0x7f);
+    }
+}
+BENCHMARK(BM_GlobalPrpEncode);
+
+static void
+BM_GlobalPrpDecode(benchmark::State &state)
+{
+    std::uint64_t g = core::GlobalPrp::encode(0x1234'5000, 42, true);
+    for (auto _ : state) {
+        auto fn = core::GlobalPrp::functionOf(g);
+        auto addr = core::GlobalPrp::originalAddr(g);
+        benchmark::DoNotOptimize(fn);
+        benchmark::DoNotOptimize(addr);
+    }
+}
+BENCHMARK(BM_GlobalPrpDecode);
+
+static void
+BM_QosPassThrough(benchmark::State &state)
+{
+    sim::Simulator sim(1);
+    auto *qos = sim.make<core::QosModule>(sim, "qos");
+    std::uint32_t key = core::QosModule::key(1, 1);
+    for (auto _ : state)
+        qos->submit(key, 4096, [] {});
+}
+BENCHMARK(BM_QosPassThrough);
+
+static void
+BM_QosTokenBucket(benchmark::State &state)
+{
+    sim::Simulator sim(1);
+    auto *qos = sim.make<core::QosModule>(sim, "qos");
+    std::uint32_t key = core::QosModule::key(1, 1);
+    core::QosLimits lim;
+    lim.iopsLimit = 1e12; // never actually throttles
+    qos->setLimits(key, lim);
+    for (auto _ : state)
+        qos->submit(key, 4096, [] {});
+}
+BENCHMARK(BM_QosTokenBucket);
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    sim::EventQueue q;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        q.schedule(q.now() + 100, [&sink] { ++sink; });
+        q.runOne();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_HistogramAdd(benchmark::State &state)
+{
+    sim::LatencyHistogram h;
+    sim::Rng rng(9);
+    for (auto _ : state)
+        h.add(rng.uniformInt(50, 500'000));
+    benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramAdd);
+
+static void
+BM_ZipfianNext(benchmark::State &state)
+{
+    sim::Rng rng(9);
+    sim::ZipfianGenerator z(10'000'000, 0.99);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(z.next(rng));
+}
+BENCHMARK(BM_ZipfianNext);
+
+BENCHMARK_MAIN();

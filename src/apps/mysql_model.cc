@@ -1,0 +1,216 @@
+#include "apps/mysql_model.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace bms::apps {
+
+MySqlModel::MySqlModel(sim::Simulator &sim, std::string name,
+                       host::BlockDeviceIf &dev, host::CpuSet &cpus,
+                       Config cfg)
+    : SimObject(sim, std::move(name)),
+      _dev(dev),
+      _cpus(cpus),
+      _cfg(cfg),
+      _rng(sim.rng().fork()),
+      _zipf(cfg.dbBytes / cfg.pageBytes, cfg.accessSkew)
+{
+    _dbPages = cfg.dbBytes / cfg.pageBytes;
+    _poolPages = cfg.bufferPoolBytes / cfg.pageBytes;
+    assert(_dbPages > _poolPages && "database must exceed buffer pool");
+    // Device layout: [data pages][redo log region].
+    assert(dev.capacityBytes() >
+               cfg.dbBytes + _logRegionBytes &&
+           "device too small for database + redo log");
+    _logRegion = cfg.dbBytes;
+    // Background flusher.
+    schedule(_cfg.flushPeriod, [this] { flushTick(); });
+}
+
+double
+MySqlModel::bufferPoolHitRate() const
+{
+    std::uint64_t total = _hits + _misses;
+    return total ? static_cast<double>(_hits) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+MySqlModel::touchLru(std::uint64_t page)
+{
+    auto it = _resident.find(page);
+    if (it != _resident.end()) {
+        _lru.erase(it->second);
+    }
+    _lru.push_front(page);
+    _resident[page] = _lru.begin();
+    evictIfNeeded();
+}
+
+void
+MySqlModel::evictIfNeeded()
+{
+    while (_lru.size() > _poolPages) {
+        std::uint64_t victim = _lru.back();
+        _lru.pop_back();
+        _resident.erase(victim);
+        // Clean evictions are free; a dirty victim was or will be
+        // written by the flusher (keep it in the dirty set so the
+        // flusher still writes it back).
+    }
+}
+
+void
+MySqlModel::accessPage(std::uint64_t page, bool dirty, int hint,
+                       std::function<void()> then)
+{
+    if (dirty)
+        _dirty.insert(page);
+    if (_resident.count(page)) {
+        ++_hits;
+        touchLru(page);
+        then();
+        return;
+    }
+    ++_misses;
+    ++_pageReadsIssued;
+    host::BlockRequest req;
+    req.op = host::BlockRequest::Op::Read;
+    req.offset = page * _cfg.pageBytes;
+    req.len = _cfg.pageBytes;
+    req.queueHint = hint;
+    req.done = [this, page, then = std::move(then)](bool ok) {
+        (void)ok;
+        touchLru(page);
+        then();
+    };
+    _dev.submit(std::move(req));
+}
+
+void
+MySqlModel::readPages(int remaining, int hint, std::function<void()> then)
+{
+    if (remaining <= 0) {
+        then();
+        return;
+    }
+    std::uint64_t page = _zipf.next(_rng);
+    accessPage(page, false, hint,
+               [this, remaining, hint, then = std::move(then)] {
+                   readPages(remaining - 1, hint, std::move(then));
+               });
+}
+
+void
+MySqlModel::executeTxn(const TxnSpec &spec, int thread_hint,
+                       std::function<void()> done)
+{
+    // Charge query CPU; storage work begins once the core reaches it.
+    host::CpuCore &core = _cpus.pick(thread_hint);
+    sim::Tick start = core.reserve(now(), _cfg.cpuPerTxn);
+    sim().scheduleAt(
+        start + _cfg.cpuPerTxn,
+        [this, spec, thread_hint, done = std::move(done)]() mutable {
+            // Dependent reads first (index traversals).
+            readPages(spec.pageReads, thread_hint,
+                      [this, spec, thread_hint,
+                       done = std::move(done)]() mutable {
+                          // Dirty the written pages (in-pool update;
+                          // read-for-update counted in pageReads).
+                          for (int i = 0; i < spec.pageWrites; ++i) {
+                              std::uint64_t page = _zipf.next(_rng);
+                              _dirty.insert(page);
+                              touchLru(page);
+                          }
+                          if (!spec.commit || spec.logBytes == 0) {
+                              done();
+                              return;
+                          }
+                          commitLog(spec.logBytes, std::move(done));
+                      });
+        });
+}
+
+void
+MySqlModel::commitLog(std::uint32_t bytes, std::function<void()> done)
+{
+    _commitQueue.push_back(CommitWaiter{bytes, std::move(done)});
+    pumpLog();
+}
+
+void
+MySqlModel::pumpLog()
+{
+    if (_logWriteInFlight || _commitQueue.empty())
+        return;
+    // Group commit: coalesce every waiting commit into one write.
+    std::uint64_t bytes = 0;
+    std::vector<std::function<void()>> waiters;
+    while (!_commitQueue.empty()) {
+        bytes += _commitQueue.front().bytes;
+        waiters.push_back(std::move(_commitQueue.front().done));
+        _commitQueue.pop_front();
+    }
+    // Round to whole blocks (512 B sectors in reality; 4 KiB here).
+    std::uint32_t len = static_cast<std::uint32_t>(
+        ((bytes + 4095) / 4096) * 4096);
+    if (_logCursor + len > _logRegionBytes)
+        _logCursor = 0;
+
+    _logWriteInFlight = true;
+    ++_logWritesIssued;
+    host::BlockRequest req;
+    req.op = host::BlockRequest::Op::Write;
+    req.offset = _logRegion + _logCursor;
+    req.len = len;
+    _logCursor += len;
+    req.done = [this, waiters = std::move(waiters)](bool ok) {
+        (void)ok;
+        _logWriteInFlight = false;
+        for (const auto &w : waiters)
+            w();
+        pumpLog();
+    };
+    _dev.submit(std::move(req));
+}
+
+void
+MySqlModel::flushTick()
+{
+    // Write back up to flushBatch dirty pages; doublewrite prepends
+    // one sequential batch write.
+    if (!_dirty.empty()) {
+        std::vector<std::uint64_t> batch;
+        for (auto it = _dirty.begin();
+             it != _dirty.end() &&
+             batch.size() < static_cast<std::size_t>(_cfg.flushBatch);) {
+            batch.push_back(*it);
+            it = _dirty.erase(it);
+        }
+        auto issue_pages = [this, batch] {
+            for (std::uint64_t page : batch) {
+                ++_pagesFlushed;
+                host::BlockRequest req;
+                req.op = host::BlockRequest::Op::Write;
+                req.offset = page * _cfg.pageBytes;
+                req.len = _cfg.pageBytes;
+                _dev.submit(std::move(req));
+            }
+        };
+        if (_cfg.doublewrite) {
+            host::BlockRequest dw;
+            dw.op = host::BlockRequest::Op::Write;
+            dw.offset = _logRegion + _logRegionBytes - sim::mib(2);
+            dw.len = static_cast<std::uint32_t>(batch.size() *
+                                                _cfg.pageBytes);
+            dw.done = [issue_pages](bool) { issue_pages(); };
+            _dev.submit(std::move(dw));
+        } else {
+            issue_pages();
+        }
+    }
+    schedule(_cfg.flushPeriod, [this] { flushTick(); });
+}
+
+} // namespace bms::apps

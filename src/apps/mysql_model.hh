@@ -1,0 +1,137 @@
+/**
+ * @file
+ * MySQL/InnoDB storage-engine model.
+ *
+ * Models the parts of MySQL 5.7 whose behaviour the paper's TPC-C and
+ * Sysbench results depend on — the storage I/O pattern:
+ *
+ *   - a buffer pool with true LRU over 16 KiB pages (misses become
+ *     random 16 KiB reads);
+ *   - a redo log with group commit (concurrent commits coalesce into
+ *     one sequential log write, fsync'd);
+ *   - a background flusher writing dirty pages back in batches, plus
+ *     the doublewrite buffer (sequential prewrite before the
+ *     scattered page writes);
+ *   - per-query CPU time charged to a CpuSet (the VM's vCPUs).
+ *
+ * Query/transaction *logic* (SQL, locking) is out of scope: drivers
+ * express transactions as page-read/page-write/log-byte counts, which
+ * is the granularity at which local storage performance matters.
+ */
+
+#ifndef BMS_APPS_MYSQL_MODEL_HH
+#define BMS_APPS_MYSQL_MODEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "host/block.hh"
+#include "host/cpu.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace bms::apps {
+
+/** InnoDB-ish engine configuration. */
+struct MySqlConfig
+{
+    std::uint64_t dbBytes = sim::gib(10);        ///< ~100 warehouses
+    std::uint64_t bufferPoolBytes = sim::gib(2); ///< paper VM: 4 GB RAM
+    std::uint32_t pageBytes = 16 * 1024;
+    bool doublewrite = true;
+    /** Zipf skew of page accesses (hot rows / indexes). */
+    double accessSkew = 0.92;
+    /** Background flush batch and cadence. */
+    int flushBatch = 64;
+    sim::Tick flushPeriod = sim::milliseconds(10);
+    /** Per-transaction CPU time (parse/optimize/execute). */
+    sim::Tick cpuPerTxn = sim::microseconds(120);
+};
+
+/** One transaction's storage demand, as seen by the engine. */
+struct TxnSpec
+{
+    int pageReads = 0;   ///< dependent (serial) page accesses
+    int pageWrites = 0;  ///< pages dirtied
+    std::uint32_t logBytes = 0;
+    bool commit = true;  ///< fsync the redo log at the end
+};
+
+/** The storage engine bound to one block device. */
+class MySqlModel : public sim::SimObject
+{
+  public:
+    using Config = MySqlConfig;
+
+    MySqlModel(sim::Simulator &sim, std::string name,
+               host::BlockDeviceIf &dev, host::CpuSet &cpus, Config cfg);
+
+    /**
+     * Execute one transaction; @p done fires after its log write is
+     * durable (or immediately after reads for read-only specs).
+     */
+    void executeTxn(const TxnSpec &spec, int thread_hint,
+                    std::function<void()> done);
+
+    /** @name Introspection / statistics. */
+    /// @{
+    double bufferPoolHitRate() const;
+    std::uint64_t pageReadsIssued() const { return _pageReadsIssued; }
+    std::uint64_t logWritesIssued() const { return _logWritesIssued; }
+    std::uint64_t pagesFlushed() const { return _pagesFlushed; }
+    std::uint64_t dirtyPages() const { return _dirty.size(); }
+    /// @}
+
+  private:
+    struct CommitWaiter
+    {
+        std::uint32_t bytes;
+        std::function<void()> done;
+    };
+
+    void readPages(int remaining, int hint, std::function<void()> then);
+    void accessPage(std::uint64_t page, bool dirty, int hint,
+                    std::function<void()> then);
+    void touchLru(std::uint64_t page);
+    void evictIfNeeded();
+    void commitLog(std::uint32_t bytes, std::function<void()> done);
+    void pumpLog();
+    void flushTick();
+
+    host::BlockDeviceIf &_dev;
+    host::CpuSet &_cpus;
+    Config _cfg;
+    sim::Rng _rng;
+    sim::ZipfianGenerator _zipf;
+
+    std::uint64_t _dbPages;
+    std::uint64_t _poolPages;
+
+    // Buffer pool LRU: list of resident pages, most recent at front.
+    std::list<std::uint64_t> _lru;
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        _resident;
+    std::unordered_set<std::uint64_t> _dirty;
+
+    // Redo log.
+    std::uint64_t _logCursor = 0;  ///< byte offset in the log region
+    std::uint64_t _logRegion = 0;  ///< start of the circular log area
+    std::uint64_t _logRegionBytes = sim::gib(1);
+    bool _logWriteInFlight = false;
+    std::deque<CommitWaiter> _commitQueue;
+
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _pageReadsIssued = 0;
+    std::uint64_t _logWritesIssued = 0;
+    std::uint64_t _pagesFlushed = 0;
+};
+
+} // namespace bms::apps
+
+#endif // BMS_APPS_MYSQL_MODEL_HH

@@ -1,0 +1,221 @@
+#include "apps/rocksdb_model.hh"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace bms::apps {
+
+RocksDbModel::RocksDbModel(sim::Simulator &sim, std::string name,
+                           host::BlockDeviceIf &dev, host::CpuSet &cpus,
+                           Config cfg)
+    : SimObject(sim, std::move(name)),
+      _dev(dev),
+      _cpus(cpus),
+      _cfg(cfg),
+      _rng(sim.rng().fork())
+{
+    // Layout: [WAL 1 GiB][SST region = rest].
+    assert(dev.capacityBytes() > sim::gib(2));
+    _sstRegion = sim::gib(1);
+    _sstBytes = dev.capacityBytes() - _sstRegion;
+}
+
+double
+RocksDbModel::blockCacheHitRate() const
+{
+    std::uint64_t total = _cacheHits + _cacheMisses;
+    return total ? static_cast<double>(_cacheHits) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+RocksDbModel::get(std::uint64_t key, int thread_hint,
+                  std::function<void()> done)
+{
+    host::CpuCore &core = _cpus.pick(thread_hint);
+    sim::Tick start = core.reserve(now(), _cfg.cpuPerOp);
+    sim().scheduleAt(start + _cfg.cpuPerOp, [this, key, thread_hint,
+                                             done = std::move(done)]() {
+        // Block-cache hit probability approximated by the cached
+        // fraction of the hot set; the zipfian workload concentrates
+        // accesses so the effective hit rate is high for hot keys.
+        double data_bytes = static_cast<double>(_cfg.keyCount) *
+                            _cfg.valueBytes;
+        double cache_frac =
+            static_cast<double>(_cfg.blockCacheBytes) / data_bytes;
+        // Hot keys (low index) are resident; cold keys miss.
+        bool cached = key < static_cast<std::uint64_t>(
+                                cache_frac * 3.0 *
+                                static_cast<double>(_cfg.keyCount));
+        // Bloom filters add occasional extra reads.
+        int reads = cached ? 0 : 1;
+        if (_rng.chance(_cfg.bloomFalsePositive))
+            ++reads;
+        if (reads == 0) {
+            ++_cacheHits;
+            done();
+            return;
+        }
+        ++_cacheMisses;
+        auto remaining = std::make_shared<int>(reads);
+        for (int i = 0; i < reads; ++i) {
+            ++_blockReads;
+            host::BlockRequest req;
+            req.op = host::BlockRequest::Op::Read;
+            req.offset = _sstRegion +
+                         (_rng.uniformInt(0, _sstBytes / _cfg.blockBytes -
+                                                 1)) *
+                             _cfg.blockBytes;
+            req.len = _cfg.blockBytes;
+            req.queueHint = thread_hint;
+            req.done = [remaining, done](bool) {
+                if (--*remaining == 0)
+                    done();
+            };
+            _dev.submit(std::move(req));
+        }
+    });
+}
+
+void
+RocksDbModel::put(std::uint64_t key, int thread_hint,
+                  std::function<void()> done)
+{
+    (void)key;
+    host::CpuCore &core = _cpus.pick(thread_hint);
+    sim::Tick start = core.reserve(now(), _cfg.cpuPerOp);
+    sim().scheduleAt(start + _cfg.cpuPerOp,
+                     [this, done = std::move(done)]() mutable {
+                         _memtableFill += _cfg.valueBytes + 24; // + key/meta
+                         _walQueue.push_back(CommitWaiter{
+                             _cfg.valueBytes + 24, std::move(done)});
+                         pumpWal();
+                         maybeFlushMemtable();
+                     });
+}
+
+void
+RocksDbModel::pumpWal()
+{
+    // Pipelined WAL (RocksDB's two-writer pipeline): up to two group
+    // writes in flight, which decouples update latency from a single
+    // serialized log stream.
+    if (_walInFlight >= 2 || _walQueue.empty())
+        return;
+    std::uint64_t bytes = 0;
+    std::vector<std::function<void()>> waiters;
+    while (!_walQueue.empty()) {
+        bytes += _walQueue.front().bytes;
+        waiters.push_back(std::move(_walQueue.front().done));
+        _walQueue.pop_front();
+    }
+    std::uint32_t len = static_cast<std::uint32_t>(
+        ((bytes + 4095) / 4096) * 4096);
+    if (_walCursor + len > sim::gib(1))
+        _walCursor = 0;
+    ++_walInFlight;
+    ++_walWrites;
+    host::BlockRequest req;
+    req.op = host::BlockRequest::Op::Write;
+    req.offset = _walCursor;
+    req.len = len;
+    _walCursor += len;
+    req.done = [this, waiters = std::move(waiters)](bool) {
+        --_walInFlight;
+        for (const auto &w : waiters)
+            w();
+        pumpWal();
+    };
+    _dev.submit(std::move(req));
+}
+
+void
+RocksDbModel::maybeFlushMemtable()
+{
+    if (_flushInFlight || _memtableFill < _cfg.memtableBytes)
+        return;
+    _flushInFlight = true;
+    _memtableFill = 0;
+    ++_flushes;
+    // Flush: sequential write of the memtable as an L0 file.
+    backgroundIo(0, _cfg.memtableBytes, [this] {
+        _flushInFlight = false;
+        ++_l0Files;
+        maybeCompact();
+        maybeFlushMemtable();
+    });
+}
+
+void
+RocksDbModel::maybeCompact()
+{
+    if (_compactionInFlight || _l0Files < _cfg.l0CompactionTrigger)
+        return;
+    _compactionInFlight = true;
+    ++_compactions;
+    // L0→L1: read all trigger files + an equal share of L1, write the
+    // merged result (write amplification ~2x input here).
+    std::uint64_t input = static_cast<std::uint64_t>(
+                              _cfg.l0CompactionTrigger) *
+                          _cfg.memtableBytes * 2;
+    backgroundIo(input, input, [this] {
+        _compactionInFlight = false;
+        _l0Files -= _cfg.l0CompactionTrigger;
+        maybeCompact();
+    });
+}
+
+void
+RocksDbModel::backgroundIo(std::uint64_t read_bytes,
+                           std::uint64_t write_bytes,
+                           std::function<void()> done)
+{
+    // Issue the work as a pipeline of compactionIoBytes chunks with a
+    // small bounded queue so it behaves like a background thread, not
+    // a burst.
+    struct State
+    {
+        std::uint64_t readLeft;
+        std::uint64_t writeLeft;
+        int inflight = 0;
+        std::function<void()> done;
+    };
+    auto st = std::make_shared<State>();
+    st->readLeft = read_bytes;
+    st->writeLeft = write_bytes;
+    st->done = std::move(done);
+
+    auto pump = std::make_shared<std::function<void()>>();
+    *pump = [this, st, pump] {
+        while (st->inflight < 2 &&
+               (st->readLeft > 0 || st->writeLeft > 0)) {
+            bool do_read = st->readLeft >= st->writeLeft;
+            std::uint64_t &left = do_read ? st->readLeft : st->writeLeft;
+            std::uint32_t len = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(left, _cfg.compactionIoBytes));
+            left -= len;
+            ++st->inflight;
+            host::BlockRequest req;
+            req.op = do_read ? host::BlockRequest::Op::Read
+                             : host::BlockRequest::Op::Write;
+            _sstCursor = (_sstCursor + len) % (_sstBytes - sim::mib(4));
+            req.offset = _sstRegion + _sstCursor;
+            req.len = len;
+            req.done = [st, pump](bool) {
+                --st->inflight;
+                if (st->readLeft == 0 && st->writeLeft == 0 &&
+                    st->inflight == 0) {
+                    st->done();
+                    return;
+                }
+                (*pump)();
+            };
+            _dev.submit(std::move(req));
+        }
+    };
+    (*pump)();
+}
+
+} // namespace bms::apps

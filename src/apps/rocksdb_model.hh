@@ -1,0 +1,117 @@
+/**
+ * @file
+ * RocksDB LSM-tree storage model (for the YCSB experiments).
+ *
+ * Models the I/O-relevant machinery of RocksDB 6.x:
+ *
+ *   - write path: WAL append (group commit) + memtable insert;
+ *     memtable fill triggers a flush to L0 (sequential 1 MiB writes);
+ *   - background compaction: when L0 accumulates enough files, an
+ *     L0→L1 compaction reads both inputs sequentially and writes the
+ *     merged output, competing with foreground I/O;
+ *   - read path: memtable / block-cache hit, else one 4 KiB data
+ *     block read from the owning level (bloom filters suppress reads
+ *     from non-owning levels with a small false-positive rate).
+ */
+
+#ifndef BMS_APPS_ROCKSDB_MODEL_HH
+#define BMS_APPS_ROCKSDB_MODEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "host/block.hh"
+#include "host/cpu.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+namespace bms::apps {
+
+/** LSM configuration. */
+struct RocksDbConfig
+{
+    std::uint64_t keyCount = 10'000'000;
+    std::uint32_t valueBytes = 1000;   ///< YCSB default record size
+    std::uint64_t memtableBytes = sim::mib(64);
+    std::uint64_t blockCacheBytes = sim::mib(512);
+    std::uint32_t blockBytes = 4096;
+    int l0CompactionTrigger = 4;
+    double bloomFalsePositive = 0.01;
+    /** CPU per operation (memtable/skiplist, comparator). */
+    sim::Tick cpuPerOp = sim::microseconds(12);
+    /** Compaction I/O chunk. */
+    std::uint32_t compactionIoBytes = sim::mib(1);
+};
+
+/** RocksDB instance bound to one block device. */
+class RocksDbModel : public sim::SimObject
+{
+  public:
+    using Config = RocksDbConfig;
+
+    RocksDbModel(sim::Simulator &sim, std::string name,
+                 host::BlockDeviceIf &dev, host::CpuSet &cpus,
+                 Config cfg);
+
+    /** Point lookup of a key (index from the workload generator). */
+    void get(std::uint64_t key, int thread_hint,
+             std::function<void()> done);
+
+    /** Upsert of a key. @p done fires when the WAL write is durable. */
+    void put(std::uint64_t key, int thread_hint,
+             std::function<void()> done);
+
+    /** @name Statistics. */
+    /// @{
+    std::uint64_t walWrites() const { return _walWrites; }
+    std::uint64_t memtableFlushes() const { return _flushes; }
+    std::uint64_t compactions() const { return _compactions; }
+    std::uint64_t blockReads() const { return _blockReads; }
+    double blockCacheHitRate() const;
+    /// @}
+
+  private:
+    struct CommitWaiter
+    {
+        std::uint32_t bytes;
+        std::function<void()> done;
+    };
+
+    void pumpWal();
+    void maybeFlushMemtable();
+    void maybeCompact();
+    void backgroundIo(std::uint64_t read_bytes, std::uint64_t write_bytes,
+                      std::function<void()> done);
+
+    host::BlockDeviceIf &_dev;
+    host::CpuSet &_cpus;
+    Config _cfg;
+    sim::Rng _rng;
+
+    std::uint64_t _memtableFill = 0;
+    bool _flushInFlight = false;
+    int _l0Files = 0;
+    bool _compactionInFlight = false;
+
+    // WAL group commit (pipelined, up to two writes in flight).
+    std::uint64_t _walCursor = 0;
+    int _walInFlight = 0;
+    std::deque<CommitWaiter> _walQueue;
+
+    // Device layout cursors.
+    std::uint64_t _sstRegion;   ///< where SST data lives
+    std::uint64_t _sstBytes;
+    std::uint64_t _sstCursor = 0;
+
+    std::uint64_t _walWrites = 0;
+    std::uint64_t _flushes = 0;
+    std::uint64_t _compactions = 0;
+    std::uint64_t _blockReads = 0;
+    std::uint64_t _cacheHits = 0;
+    std::uint64_t _cacheMisses = 0;
+};
+
+} // namespace bms::apps
+
+#endif // BMS_APPS_ROCKSDB_MODEL_HH

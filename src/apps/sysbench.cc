@@ -1,0 +1,64 @@
+#include "apps/sysbench.hh"
+
+#include <utility>
+
+namespace bms::apps {
+
+SysbenchDriver::SysbenchDriver(sim::Simulator &sim, std::string name,
+                               MySqlModel &db, SysbenchConfig cfg)
+    : SimObject(sim, std::move(name)),
+      _db(db),
+      _cfg(cfg),
+      _rng(sim.rng().fork())
+{
+}
+
+void
+SysbenchDriver::start(std::function<void()> done)
+{
+    _done = std::move(done);
+    _measureStart = now() + _cfg.rampTime;
+    _measureEnd = _measureStart + _cfg.runTime;
+    schedule(_cfg.rampTime + _cfg.runTime, [this] { _stopping = true; });
+    for (int t = 0; t < _cfg.threads; ++t)
+        loop(t);
+}
+
+void
+SysbenchDriver::loop(int thread)
+{
+    if (_stopping) {
+        if (_outstanding == 0 && !_finished) {
+            _finished = true;
+            double secs = sim::toSec(_cfg.runTime);
+            _result.tps =
+                static_cast<double>(_result.transactions) / secs;
+            _result.qps = static_cast<double>(_result.queries) / secs;
+            if (_done)
+                _done();
+        }
+        return;
+    }
+    // oltp_read_write: 10 point selects + 4 ranges (≈2 pages each) +
+    // 4 updates (read-modify) + 2 inserts/deletes.
+    TxnSpec spec;
+    spec.pageReads = 10 + 4 * 2 + 4;
+    spec.pageWrites = _cfg.readOnly ? 0 : 6;
+    spec.logBytes = _cfg.readOnly ? 0 : 900;
+    spec.commit = !_cfg.readOnly;
+
+    sim::Tick begun = now();
+    ++_outstanding;
+    _db.executeTxn(spec, thread, [this, thread, begun] {
+        --_outstanding;
+        if (now() >= _measureStart && now() <= _measureEnd) {
+            ++_result.transactions;
+            _result.queries +=
+                static_cast<std::uint64_t>(_cfg.queriesPerTxn);
+            _result.latency.add(now() - begun);
+        }
+        loop(thread);
+    });
+}
+
+} // namespace bms::apps

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sysbench OLTP driver for the MySQL model (paper Fig. 13(b) and
+ * Table VIII: normalized queries/transactions and average latency).
+ *
+ * Models oltp_read_write: each transaction is 10 point selects,
+ * 4 range queries, 4 index updates, 2 write queries, one commit —
+ * 20 queries per transaction, matching sysbench accounting.
+ */
+
+#ifndef BMS_APPS_SYSBENCH_HH
+#define BMS_APPS_SYSBENCH_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "apps/mysql_model.hh"
+#include "sim/stats.hh"
+
+namespace bms::apps {
+
+/** Sysbench run parameters. */
+struct SysbenchConfig
+{
+    int threads = 32;
+    bool readOnly = false;
+    sim::Tick rampTime = sim::milliseconds(50);
+    sim::Tick runTime = sim::milliseconds(600);
+    /** Queries accounted per transaction (sysbench oltp_read_write). */
+    int queriesPerTxn = 20;
+};
+
+/** Closed-loop Sysbench OLTP load generator. */
+class SysbenchDriver : public sim::SimObject
+{
+  public:
+    struct Result
+    {
+        std::uint64_t transactions = 0;
+        std::uint64_t queries = 0;
+        double tps = 0.0;
+        double qps = 0.0;
+        sim::LatencyHistogram latency;
+    };
+
+    SysbenchDriver(sim::Simulator &sim, std::string name, MySqlModel &db,
+                   SysbenchConfig cfg);
+
+    void start(std::function<void()> done = nullptr);
+    bool finished() const { return _finished; }
+    const Result &result() const { return _result; }
+
+  private:
+    void loop(int thread);
+
+    MySqlModel &_db;
+    SysbenchConfig _cfg;
+    sim::Rng _rng;
+
+    bool _stopping = false;
+    bool _finished = false;
+    int _outstanding = 0;
+    sim::Tick _measureStart = 0;
+    sim::Tick _measureEnd = 0;
+    Result _result;
+    std::function<void()> _done;
+};
+
+} // namespace bms::apps
+
+#endif // BMS_APPS_SYSBENCH_HH

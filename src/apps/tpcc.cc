@@ -1,0 +1,111 @@
+#include "apps/tpcc.hh"
+
+#include <utility>
+
+namespace bms::apps {
+
+TpccDriver::TpccDriver(sim::Simulator &sim, std::string name,
+                       MySqlModel &db, TpccConfig cfg)
+    : SimObject(sim, std::move(name)),
+      _db(db),
+      _cfg(cfg),
+      _rng(sim.rng().fork())
+{
+}
+
+TpccDriver::Profile
+TpccDriver::pickProfile()
+{
+    double d = _rng.uniform01() * 100.0;
+    if (d < 45.0)
+        return Profile::NewOrder;
+    if (d < 88.0)
+        return Profile::Payment;
+    if (d < 92.0)
+        return Profile::OrderStatus;
+    if (d < 96.0)
+        return Profile::Delivery;
+    return Profile::StockLevel;
+}
+
+TxnSpec
+TpccDriver::specFor(Profile p)
+{
+    TxnSpec s;
+    switch (p) {
+      case Profile::NewOrder:
+        // ~10 items: stock + item + district reads, order-line writes.
+        s.pageReads = static_cast<int>(_rng.uniformInt(12, 18));
+        s.pageWrites = 8;
+        s.logBytes = 1500;
+        break;
+      case Profile::Payment:
+        s.pageReads = static_cast<int>(_rng.uniformInt(4, 6));
+        s.pageWrites = 3;
+        s.logBytes = 600;
+        break;
+      case Profile::OrderStatus:
+        s.pageReads = static_cast<int>(_rng.uniformInt(5, 8));
+        s.pageWrites = 0;
+        s.logBytes = 0;
+        s.commit = false;
+        break;
+      case Profile::Delivery:
+        s.pageReads = static_cast<int>(_rng.uniformInt(24, 40));
+        s.pageWrites = 15;
+        s.logBytes = 2500;
+        break;
+      case Profile::StockLevel:
+        s.pageReads = static_cast<int>(_rng.uniformInt(40, 60));
+        s.pageWrites = 0;
+        s.logBytes = 0;
+        s.commit = false;
+        break;
+    }
+    return s;
+}
+
+void
+TpccDriver::start(std::function<void()> done)
+{
+    _done = std::move(done);
+    _measureStart = now() + _cfg.rampTime;
+    _measureEnd = _measureStart + _cfg.runTime;
+    schedule(_cfg.rampTime + _cfg.runTime, [this] { _stopping = true; });
+    for (int t = 0; t < _cfg.threads; ++t)
+        loop(t);
+}
+
+void
+TpccDriver::loop(int thread)
+{
+    if (_stopping) {
+        if (_outstanding == 0 && !_finished) {
+            _finished = true;
+            double secs = sim::toSec(_cfg.runTime);
+            _result.tps =
+                static_cast<double>(_result.transactions) / secs;
+            _result.tpmC =
+                static_cast<double>(_result.newOrders) / secs * 60.0;
+            if (_done)
+                _done();
+        }
+        return;
+    }
+    Profile p = pickProfile();
+    TxnSpec spec = specFor(p);
+    sim::Tick begun = now();
+    ++_outstanding;
+    _db.executeTxn(spec, thread, [this, thread, p, begun] {
+        --_outstanding;
+        if (now() >= _measureStart && now() <= _measureEnd) {
+            ++_result.transactions;
+            if (p == Profile::NewOrder)
+                ++_result.newOrders;
+            _result.latency.add(now() - begun);
+        }
+        loop(thread);
+    });
+}
+
+} // namespace bms::apps

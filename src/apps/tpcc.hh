@@ -1,0 +1,81 @@
+/**
+ * @file
+ * TPC-C driver for the MySQL model (paper Fig. 13(a): 100 warehouses,
+ * 32 concurrent threads, normalized transaction counts).
+ *
+ * The five standard transaction profiles are expressed as storage
+ * demands (dependent page reads, dirtied pages, redo bytes) in the
+ * standard 45/43/4/4/4 mix.
+ */
+
+#ifndef BMS_APPS_TPCC_HH
+#define BMS_APPS_TPCC_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "apps/mysql_model.hh"
+#include "sim/stats.hh"
+
+namespace bms::apps {
+
+/** TPC-C run parameters. */
+struct TpccConfig
+{
+    int warehouses = 100; ///< scales the database size via MySqlConfig
+    int threads = 32;
+    sim::Tick rampTime = sim::milliseconds(50);
+    sim::Tick runTime = sim::milliseconds(600);
+};
+
+/** Closed-loop TPC-C load generator. */
+class TpccDriver : public sim::SimObject
+{
+  public:
+    struct Result
+    {
+        std::uint64_t transactions = 0; ///< all profiles
+        std::uint64_t newOrders = 0;
+        double tps = 0.0;
+        double tpmC = 0.0; ///< NewOrder per minute
+        sim::LatencyHistogram latency;
+    };
+
+    TpccDriver(sim::Simulator &sim, std::string name, MySqlModel &db,
+               TpccConfig cfg);
+
+    void start(std::function<void()> done = nullptr);
+    bool finished() const { return _finished; }
+    const Result &result() const { return _result; }
+
+  private:
+    enum class Profile
+    {
+        NewOrder,
+        Payment,
+        OrderStatus,
+        Delivery,
+        StockLevel,
+    };
+
+    Profile pickProfile();
+    TxnSpec specFor(Profile p);
+    void loop(int thread);
+
+    MySqlModel &_db;
+    TpccConfig _cfg;
+    sim::Rng _rng;
+
+    bool _stopping = false;
+    bool _finished = false;
+    int _outstanding = 0;
+    sim::Tick _measureStart = 0;
+    sim::Tick _measureEnd = 0;
+    Result _result;
+    std::function<void()> _done;
+};
+
+} // namespace bms::apps
+
+#endif // BMS_APPS_TPCC_HH

@@ -1,0 +1,83 @@
+#include "apps/ycsb.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace bms::apps {
+
+YcsbDriver::YcsbDriver(sim::Simulator &sim, std::string name,
+                       RocksDbModel &db, YcsbConfig cfg)
+    : SimObject(sim, std::move(name)),
+      _db(db),
+      _cfg(cfg),
+      _rng(sim.rng().fork()),
+      _zipf(cfg.records, cfg.zipfTheta)
+{
+}
+
+double
+YcsbDriver::readFraction(char workload)
+{
+    switch (workload) {
+      case 'A':
+        return 0.5;
+      case 'B':
+        return 0.95;
+      case 'C':
+        return 1.0;
+      default:
+        assert(false && "unsupported YCSB workload");
+        return 1.0;
+    }
+}
+
+void
+YcsbDriver::start(std::function<void()> done)
+{
+    _done = std::move(done);
+    _measureStart = now() + _cfg.rampTime;
+    _measureEnd = _measureStart + _cfg.runTime;
+    schedule(_cfg.rampTime + _cfg.runTime, [this] { _stopping = true; });
+    for (int t = 0; t < _cfg.threads; ++t)
+        loop(t);
+}
+
+void
+YcsbDriver::loop(int thread)
+{
+    if (_stopping) {
+        if (_outstanding == 0 && !_finished) {
+            _finished = true;
+            double secs = sim::toSec(_cfg.runTime);
+            _result.opsPerSec =
+                static_cast<double>(_result.reads + _result.updates) /
+                secs;
+            if (_done)
+                _done();
+        }
+        return;
+    }
+    std::uint64_t key = _zipf.next(_rng);
+    bool is_read = _rng.chance(readFraction(_cfg.workload));
+    sim::Tick begun = now();
+    ++_outstanding;
+    auto complete = [this, thread, begun, is_read] {
+        --_outstanding;
+        if (now() >= _measureStart && now() <= _measureEnd) {
+            if (is_read) {
+                ++_result.reads;
+                _result.readLatency.add(now() - begun);
+            } else {
+                ++_result.updates;
+                _result.updateLatency.add(now() - begun);
+            }
+        }
+        loop(thread);
+    };
+    if (is_read)
+        _db.get(key, thread, std::move(complete));
+    else
+        _db.put(key, thread, std::move(complete));
+}
+
+} // namespace bms::apps

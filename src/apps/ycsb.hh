@@ -1,0 +1,76 @@
+/**
+ * @file
+ * YCSB driver for the RocksDB model (paper Fig. 14(a): RocksDB
+ * throughput under mixed multi-VM workloads).
+ *
+ * Implements the core YCSB workloads as read/update mixes over a
+ * Zipfian (theta = 0.99) key popularity distribution:
+ *   A = 50/50, B = 95/5, C = 100/0.
+ */
+
+#ifndef BMS_APPS_YCSB_HH
+#define BMS_APPS_YCSB_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "apps/rocksdb_model.hh"
+#include "sim/stats.hh"
+
+namespace bms::apps {
+
+/** YCSB run parameters. */
+struct YcsbConfig
+{
+    char workload = 'A'; ///< 'A', 'B' or 'C'
+    int threads = 16;
+    std::uint64_t records = 10'000'000; ///< must match the DB's keyCount
+    double zipfTheta = 0.99;
+    sim::Tick rampTime = sim::milliseconds(50);
+    sim::Tick runTime = sim::milliseconds(600);
+};
+
+/** Closed-loop YCSB client. */
+class YcsbDriver : public sim::SimObject
+{
+  public:
+    struct Result
+    {
+        std::uint64_t reads = 0;
+        std::uint64_t updates = 0;
+        double opsPerSec = 0.0;
+        sim::LatencyHistogram readLatency;
+        sim::LatencyHistogram updateLatency;
+    };
+
+    YcsbDriver(sim::Simulator &sim, std::string name, RocksDbModel &db,
+               YcsbConfig cfg);
+
+    void start(std::function<void()> done = nullptr);
+    bool finished() const { return _finished; }
+    const Result &result() const { return _result; }
+
+    /** Read fraction of a workload letter. */
+    static double readFraction(char workload);
+
+  private:
+    void loop(int thread);
+
+    RocksDbModel &_db;
+    YcsbConfig _cfg;
+    sim::Rng _rng;
+    sim::ZipfianGenerator _zipf;
+
+    bool _stopping = false;
+    bool _finished = false;
+    int _outstanding = 0;
+    sim::Tick _measureStart = 0;
+    sim::Tick _measureEnd = 0;
+    Result _result;
+    std::function<void()> _done;
+};
+
+} // namespace bms::apps
+
+#endif // BMS_APPS_YCSB_HH

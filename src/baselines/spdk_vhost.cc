@@ -1,0 +1,102 @@
+#include "baselines/spdk_vhost.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace bms::baselines {
+
+SpdkVhostTarget::SpdkVhostTarget(sim::Simulator &sim, std::string name,
+                                 Config cfg)
+    : SimObject(sim, std::move(name)), _cfg(cfg)
+{
+    assert(cfg.cores >= 1);
+    _reactors.resize(static_cast<std::size_t>(cfg.cores));
+    registerStat("served", [this] { return double(_served); });
+    registerStat("cores", [this] { return double(_cfg.cores); });
+}
+
+void
+SpdkVhostTarget::addDevice(virt::VirtioBlkDevice &frontend,
+                           host::BlockDeviceIf &backend)
+{
+    for (int q = 0; q < frontend.ringCount(); ++q) {
+        std::size_t idx = _sessions.size();
+        _sessions.push_back(Session{&frontend.vring(q), &backend});
+        _reactors[static_cast<std::size_t>(_rr) % _reactors.size()]
+            .sessions.push_back(idx);
+        _rr++;
+    }
+}
+
+void
+SpdkVhostTarget::start()
+{
+    if (_started)
+        return;
+    _started = true;
+    for (std::size_t i = 0; i < _reactors.size(); ++i)
+        poll(i);
+}
+
+double
+SpdkVhostTarget::reactorUtilization(sim::Tick now_) const
+{
+    double u = 0.0;
+    for (const auto &r : _reactors)
+        u += r.core.utilization(now_);
+    return _reactors.empty() ? 0.0 : u / static_cast<double>(
+                                             _reactors.size());
+}
+
+void
+SpdkVhostTarget::poll(std::size_t reactor_idx)
+{
+    Reactor &r = _reactors[reactor_idx];
+    r.pollScheduled = false;
+
+    // Walk this reactor's rings, accumulating core time along a
+    // cursor; actions fire when the core actually reaches them.
+    sim::Tick work = 0;
+    bool found = false;
+    for (std::size_t sess_idx : r.sessions) {
+        Session &dev = _sessions[sess_idx];
+        work += _cfg.ringScanCost;
+        virt::Vring &ring = *dev.ring;
+        for (int n = 0; n < _cfg.batchPerRing && !ring.empty(); ++n) {
+            virt::VringRequest vr = ring.pop();
+            found = true;
+            ++_served;
+            sim::Tick cost =
+                _cfg.perIoBase +
+                static_cast<sim::Tick>(_cfg.perByteNs * vr.len);
+            work += cost;
+            // The descriptor is fully processed `work` into this
+            // iteration; backend submission happens then. A zero
+            // reserve peeks the cursor (= max(now, busyUntil)).
+            sim::Tick start = r.core.reserve(now(), 0);
+            host::BlockDeviceIf *backend = dev.backend;
+            sim::Tick submit_at = start + work;
+            sim().scheduleAt(
+                submit_at, [backend, vr = std::move(vr)]() mutable {
+                    host::BlockRequest req;
+                    req.op = vr.op;
+                    req.offset = vr.offset;
+                    req.len = vr.len;
+                    req.dataAddr = vr.dataAddr;
+                    req.done = std::move(vr.complete);
+                    backend->submit(std::move(req));
+                });
+        }
+    }
+    // Commit the accumulated occupancy to the core.
+    sim::Tick iter_end = r.core.reserve(now(), work) + work;
+
+    // Busy-loop when work was found; otherwise sleep one poll period.
+    sim::Tick next = found ? iter_end : iter_end + _cfg.pollInterval;
+    if (next <= now())
+        next = now() + 1;
+    r.pollScheduled = true;
+    sim().scheduleAt(next, [this, reactor_idx] { poll(reactor_idx); });
+}
+
+} // namespace bms::baselines

@@ -1,0 +1,217 @@
+#include "core/ctrl/bms_controller.hh"
+
+#include <utility>
+
+namespace bms::core {
+
+BmsController::BmsController(sim::Simulator &sim, std::string name,
+                             BmsEngine &engine, Config cfg)
+    : SimObject(sim, name), _engine(engine), _cfg(cfg), _nsMgr(engine)
+{
+    _endpoint = std::make_unique<MctpEndpoint>(sim, name + ".mctp",
+                                               cfg.eid);
+    _endpoint->setHandler(
+        [this](Eid src, MctpMsgType type, std::vector<std::uint8_t> raw) {
+            handleMessage(src, type, std::move(raw));
+        });
+    _monitor = std::make_unique<IoMonitor>(sim, name + ".iomon", engine,
+                                           cfg.monitorPeriod);
+    _hotUpgrade = std::make_unique<HotUpgradeManager>(
+        sim, name + ".hotupgrade", engine, cfg.upgrade);
+    _hotPlug = std::make_unique<HotPlugManager>(sim, name + ".hotplug",
+                                                engine, cfg.hotplug);
+}
+
+void
+BmsController::attachBackendSsd(int slot, pcie::PcieDeviceIf &ssd,
+                                std::function<void()> ready)
+{
+    _engine.attachBackendSsd(slot, ssd, [this, slot,
+                                         ready = std::move(ready)] {
+        _nsMgr.registerSsd(slot, _engine.adaptor(slot).capacityBytes());
+        ready();
+    });
+}
+
+void
+BmsController::handleMessage(Eid src, MctpMsgType type,
+                             std::vector<std::uint8_t> raw)
+{
+    if (type != MctpMsgType::NvmeMi)
+        return;
+    MiMessage req;
+    if (!MiMessage::parse(raw, req) ||
+        req.kind != MiMessage::Kind::Request) {
+        logWarn("malformed NVMe-MI message");
+        return;
+    }
+    // ARM-side protocol analyzer + service processing.
+    schedule(_cfg.armProcessing, [this, src, req] { dispatch(src, req); });
+}
+
+void
+BmsController::respond(Eid dest, const MiMessage &req, MiStatus status,
+                       std::vector<std::uint8_t> payload)
+{
+    MiMessage resp;
+    resp.kind = MiMessage::Kind::Response;
+    resp.opcode = req.opcode;
+    resp.status = status;
+    resp.tag = req.tag;
+    resp.payload = std::move(payload);
+    _endpoint->sendMessage(dest, MctpMsgType::NvmeMi, resp.serialize());
+}
+
+void
+BmsController::dispatch(Eid src, const MiMessage &req)
+{
+    wire::Reader r(req.payload);
+    switch (req.opcode) {
+      case MiOpcode::HealthStatusPoll: {
+        wire::Writer w;
+        int slots = _engine.ssdSlots();
+        w.u8(static_cast<std::uint8_t>(slots));
+        for (int s = 0; s < slots; ++s) {
+            SlotHealth h;
+            if (slotHealthProbe) {
+                h = slotHealthProbe(s);
+            } else {
+                h.slot = static_cast<std::uint8_t>(s);
+                h.present = _engine.adaptor(s).hasSsd();
+                h.capacityBytes = _engine.adaptor(s).capacityBytes();
+                h.inflight = _engine.adaptor(s).inflight();
+            }
+            w.u8(h.slot);
+            w.u8(h.present ? 1 : 0);
+            w.u8(h.upgrading ? 1 : 0);
+            w.str(h.firmwareRev);
+            w.u64(h.capacityBytes);
+            w.u32(h.inflight);
+            w.u16(h.temperatureK);
+            w.u8(h.percentageUsed);
+            w.u64(h.powerOnHours);
+            w.u64(h.mediaErrors);
+        }
+        respond(src, req, MiStatus::Success, w.take());
+        return;
+      }
+      case MiOpcode::VendorCreateNamespace: {
+        auto fn = static_cast<pcie::FunctionId>(r.u8());
+        std::uint64_t bytes = r.u64();
+        auto policy = static_cast<NamespaceManager::Policy>(r.u8());
+        QosLimits qos;
+        qos.iopsLimit = r.f64();
+        qos.mbPerSecLimit = r.f64();
+        if (!r.ok()) {
+            respond(src, req, MiStatus::InvalidParameter, {});
+            return;
+        }
+        auto nsid = _nsMgr.createAndAttach(fn, bytes, policy, qos);
+        if (!nsid) {
+            respond(src, req, MiStatus::InternalError, {});
+            return;
+        }
+        wire::Writer w;
+        w.u32(*nsid);
+        respond(src, req, MiStatus::Success, w.take());
+        return;
+      }
+      case MiOpcode::VendorDestroyNamespace: {
+        auto fn = static_cast<pcie::FunctionId>(r.u8());
+        std::uint32_t nsid = r.u32();
+        bool ok = r.ok() && _nsMgr.destroy(fn, nsid);
+        respond(src, req,
+                ok ? MiStatus::Success : MiStatus::InvalidParameter, {});
+        return;
+      }
+      case MiOpcode::VendorSetQos: {
+        auto fn = static_cast<pcie::FunctionId>(r.u8());
+        std::uint32_t nsid = r.u32();
+        QosLimits qos;
+        qos.iopsLimit = r.f64();
+        qos.mbPerSecLimit = r.f64();
+        if (!r.ok() || !_engine.findBinding(fn, nsid)) {
+            respond(src, req, MiStatus::InvalidParameter, {});
+            return;
+        }
+        _engine.setQos(fn, nsid, qos);
+        respond(src, req, MiStatus::Success, {});
+        return;
+      }
+      case MiOpcode::VendorIoStats: {
+        auto fn = static_cast<pcie::FunctionId>(r.u8());
+        if (!r.ok() ||
+            fn >= static_cast<pcie::FunctionId>(
+                      _engine.config().totalFunctions())) {
+            respond(src, req, MiStatus::InvalidParameter, {});
+            return;
+        }
+        const IoMonitor::FnSample &s = _monitor->current(fn);
+        wire::Writer w;
+        w.u64(s.readOps);
+        w.u64(s.writeOps);
+        w.f64(s.readIops);
+        w.f64(s.writeIops);
+        w.f64(s.readMbps);
+        w.f64(s.writeMbps);
+        respond(src, req, MiStatus::Success, w.take());
+        return;
+      }
+      case MiOpcode::VendorFirmwareUpgrade: {
+        std::uint8_t slot = r.u8();
+        std::uint32_t image_size = r.u32();
+        if (!r.ok() || slot >= _engine.ssdSlots()) {
+            respond(src, req, MiStatus::InvalidParameter, {});
+            return;
+        }
+        std::vector<std::uint8_t> image(image_size, 0xFB);
+        _hotUpgrade->upgrade(
+            slot, std::move(image),
+            [this, src, req](HotUpgradeManager::Report rep) {
+                wire::Writer w;
+                w.u8(rep.ok ? 1 : 0);
+                w.f64(sim::toMs(rep.storeContext));
+                w.f64(sim::toMs(rep.firmware));
+                w.f64(sim::toMs(rep.reloadContext));
+                w.f64(sim::toMs(rep.total));
+                w.f64(sim::toMs(rep.ioPause));
+                respond(src, req,
+                        rep.ok ? MiStatus::Success
+                               : MiStatus::InternalError,
+                        w.take());
+            });
+        return;
+      }
+      case MiOpcode::VendorHotPlug: {
+        std::uint8_t slot = r.u8();
+        if (!r.ok() || slot >= _engine.ssdSlots() || !_spareProvider) {
+            respond(src, req, MiStatus::InvalidParameter, {});
+            return;
+        }
+        pcie::PcieDeviceIf *spare = _spareProvider(slot);
+        if (!spare) {
+            respond(src, req, MiStatus::InternalError, {});
+            return;
+        }
+        // Note: the namespace manager's chunk accounting is kept —
+        // existing mappings now point at the fresh disk's chunks.
+        _hotPlug->replace(slot, *spare,
+                          [this, src, req](HotPlugManager::Report rep) {
+                              wire::Writer w;
+                              w.u8(rep.ok ? 1 : 0);
+                              w.f64(sim::toMs(rep.ioPause));
+                              respond(src, req,
+                                      rep.ok ? MiStatus::Success
+                                             : MiStatus::InternalError,
+                                      w.take());
+                          });
+        return;
+      }
+      case MiOpcode::VendorListNamespaces:
+      default:
+        respond(src, req, MiStatus::InvalidParameter, {});
+        return;
+    }
+}
+
+} // namespace bms::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Hot-plug manager — faulty back-end SSD replacement while the
+ * front-end NVMe identities are preserved (paper §IV-D).
+ *
+ * During replacement BM-Store "reserves the front-end to the
+ * tenants": the logical drives never disappear from the host, no
+ * rescan happens, applications are not redeployed. The engine pauses
+ * and drains I/O toward the slot, the SSD is physically swapped, the
+ * host adaptor re-initializes the new device, mappings are retained
+ * (chunks now point at the fresh disk; data restoration is the job of
+ * a higher layer, as with any failed-disk replacement), and I/O
+ * resumes.
+ */
+
+#ifndef BMS_CORE_CTRL_HOT_PLUG_HH
+#define BMS_CORE_CTRL_HOT_PLUG_HH
+
+#include <functional>
+
+#include "core/engine/bms_engine.hh"
+#include "sim/simulator.hh"
+
+namespace bms::core {
+
+/** Tunables of the hot-plug flow. */
+struct HotPlugConfig
+{
+    /** Physical swap time (drive caddy exchange). */
+    sim::Tick swapDelay = sim::milliseconds(800);
+};
+
+/** Orchestrates back-end SSD replacement. */
+class HotPlugManager : public sim::SimObject
+{
+  public:
+    struct Report
+    {
+        bool ok = false;
+        sim::Tick ioPause = 0; ///< pause start → resume
+        sim::Tick swapTime = 0;
+    };
+
+    using Config = HotPlugConfig;
+
+    HotPlugManager(sim::Simulator &sim, std::string name,
+                   BmsEngine &engine, Config cfg = Config())
+        : SimObject(sim, std::move(name)), _engine(engine), _cfg(cfg)
+    {}
+
+    /**
+     * Replace the SSD in @p slot with @p replacement. @p done fires
+     * once the new device serves I/O.
+     */
+    void
+    replace(int slot, pcie::PcieDeviceIf &replacement,
+            std::function<void(Report)> done)
+    {
+        auto report = std::make_shared<Report>();
+        sim::Tick t0 = now();
+        _engine.storeIoContext(slot, [this, slot, &replacement, t0,
+                                      report, done = std::move(done)] {
+            HostAdaptor &ad = _engine.adaptor(slot);
+            ad.detachSsd();
+            // Physical swap.
+            schedule(_cfg.swapDelay, [this, slot, &replacement, t0,
+                                      report, done = std::move(done)] {
+                report->swapTime = _cfg.swapDelay;
+                _engine.attachBackendSsd(
+                    slot, replacement,
+                    [this, slot, t0, report, done = std::move(done)] {
+                        _engine.reloadIoContext(slot);
+                        report->ok = true;
+                        report->ioPause = now() - t0;
+                        ++_completed;
+                        done(*report);
+                    });
+            });
+        });
+    }
+
+    std::uint32_t replacementsCompleted() const { return _completed; }
+
+  private:
+    BmsEngine &_engine;
+    Config _cfg;
+    std::uint32_t _completed = 0;
+};
+
+} // namespace bms::core
+
+#endif // BMS_CORE_CTRL_HOT_PLUG_HH

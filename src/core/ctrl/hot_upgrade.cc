@@ -1,0 +1,99 @@
+#include "core/ctrl/hot_upgrade.hh"
+
+#include <memory>
+#include <utility>
+
+namespace bms::core {
+
+using nvme::AdminOpcode;
+using nvme::Sqe;
+
+void
+HotUpgradeManager::download(int slot, std::uint64_t offset,
+                            std::shared_ptr<std::vector<std::uint8_t>> image,
+                            std::function<void(bool)> then)
+{
+    if (offset >= image->size()) {
+        then(true);
+        return;
+    }
+    std::uint32_t chunk = _cfg.downloadChunk;
+    if (offset + chunk > image->size())
+        chunk = static_cast<std::uint32_t>(image->size() - offset);
+    Sqe dl;
+    dl.opcode = static_cast<std::uint8_t>(AdminOpcode::FirmwareDownload);
+    dl.cdw10 = chunk / 4 - 1; // NUMD, 0-based dwords
+    dl.cdw11 = static_cast<std::uint32_t>(offset / 4);
+    _engine.adaptor(slot).adminCommand(
+        dl, [this, slot, offset, chunk, image,
+             then = std::move(then)](const nvme::Cqe &cqe) {
+            if (!cqe.ok()) {
+                then(false);
+                return;
+            }
+            download(slot, offset + chunk, image, std::move(then));
+        });
+}
+
+void
+HotUpgradeManager::upgrade(int slot, std::vector<std::uint8_t> image,
+                           std::function<void(Report)> done)
+{
+    auto report = std::make_shared<Report>();
+    sim::Tick t0 = now();
+
+    // Step 1: store I/O context — pause affected front functions and
+    // drain the adaptor, then charge the engine handshake cost.
+    _engine.storeIoContext(slot, [this, slot, t0, report,
+                                  image = std::move(image),
+                                  done = std::move(done)]() mutable {
+        schedule(_cfg.storeDelay, [this, slot, t0, report,
+                                   image = std::move(image),
+                                   done = std::move(done)]() mutable {
+            report->storeContext = now() - t0;
+            sim::Tick fw_start = now();
+
+            // Step 2: firmware download + commit (SSD activation
+            // stall happens inside the commit).
+            auto img =
+                std::make_shared<std::vector<std::uint8_t>>(std::move(image));
+            download(slot, 0, img, [this, slot, fw_start, t0, report,
+                                    done = std::move(done)](bool ok) {
+                if (!ok) {
+                    _engine.reloadIoContext(slot);
+                    report->total = now() - t0;
+                    done(*report);
+                    return;
+                }
+                Sqe commit;
+                commit.opcode = static_cast<std::uint8_t>(
+                    AdminOpcode::FirmwareCommit);
+                commit.cdw10 = 0x3 << 3; // CA: activate immediately
+                _engine.adaptor(slot).adminCommand(
+                    commit,
+                    [this, slot, fw_start, t0, report,
+                     done = std::move(done)](const nvme::Cqe &cqe) {
+                        report->ok = cqe.ok();
+                        report->firmware = now() - fw_start;
+
+                        // Step 3: reload I/O context and resume.
+                        sim::Tick reload_start = now();
+                        schedule(_cfg.reloadDelay,
+                                 [this, slot, reload_start, t0, report,
+                                  done = std::move(done)] {
+                                     _engine.reloadIoContext(slot);
+                                     report->reloadContext =
+                                         now() - reload_start;
+                                     report->total = now() - t0;
+                                     report->ioPause = report->total;
+                                     if (report->ok)
+                                         ++_completed;
+                                     done(*report);
+                                 });
+                    });
+            });
+        });
+    });
+}
+
+} // namespace bms::core

@@ -1,0 +1,163 @@
+#include "core/ctrl/namespace_manager.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bms::core {
+
+void
+NamespaceManager::registerSsd(int slot, std::uint64_t capacity_bytes)
+{
+    std::uint64_t chunk_bytes = chunkBlocks() * nvme::kBlockSize;
+    std::uint64_t chunks = capacity_bytes / chunk_bytes;
+    // The 6-bit chunk-base field bounds physical chunks per SSD.
+    chunks = std::min<std::uint64_t>(chunks, 64);
+    Pool pool;
+    pool.slot = slot;
+    pool.used.assign(chunks, false);
+    auto it = std::find_if(_pools.begin(), _pools.end(),
+                           [slot](const Pool &p) { return p.slot == slot; });
+    if (it != _pools.end())
+        *it = std::move(pool);
+    else
+        _pools.push_back(std::move(pool));
+}
+
+std::optional<std::vector<NamespaceManager::Allocation>>
+NamespaceManager::allocate(std::uint32_t chunks, Policy policy,
+                           int pin_slot)
+{
+    std::vector<Allocation> out;
+    out.reserve(chunks);
+    if (_pools.empty())
+        return std::nullopt;
+    auto take_from = [this, &out](Pool &pool) {
+        for (std::size_t c = 0; c < pool.used.size(); ++c) {
+            if (!pool.used[c]) {
+                pool.used[c] = true;
+                out.push_back(Allocation{static_cast<std::uint8_t>(pool.slot),
+                                         static_cast<std::uint8_t>(c)});
+                return true;
+            }
+        }
+        return false;
+    };
+    for (std::uint32_t i = 0; i < chunks; ++i) {
+        bool ok = false;
+        if (policy == Policy::Dedicate) {
+            for (auto &pool : _pools) {
+                if (pool.slot == pin_slot) {
+                    ok = take_from(pool);
+                    break;
+                }
+            }
+        } else if (policy == Policy::RoundRobin) {
+            for (std::size_t tries = 0; tries < _pools.size() && !ok;
+                 ++tries) {
+                ok = take_from(_pools[static_cast<std::size_t>(_rr) %
+                                      _pools.size()]);
+                _rr = (_rr + 1) % static_cast<int>(_pools.size());
+            }
+        } else {
+            for (auto &pool : _pools) {
+                if ((ok = take_from(pool)))
+                    break;
+            }
+        }
+        if (!ok) {
+            release(out);
+            return std::nullopt;
+        }
+    }
+    return out;
+}
+
+void
+NamespaceManager::release(const std::vector<Allocation> &allocs)
+{
+    for (const Allocation &a : allocs) {
+        for (auto &pool : _pools) {
+            if (pool.slot == a.slot) {
+                pool.used[a.chunk] = false;
+                break;
+            }
+        }
+    }
+}
+
+std::optional<std::uint32_t>
+NamespaceManager::createAndAttach(pcie::FunctionId fn, std::uint64_t bytes,
+                                  Policy policy, QosLimits qos,
+                                  int pin_slot)
+{
+    std::uint64_t chunk_bytes = chunkBlocks() * nvme::kBlockSize;
+    auto chunks = static_cast<std::uint32_t>(
+        (bytes + chunk_bytes - 1) / chunk_bytes);
+    if (chunks == 0)
+        return std::nullopt;
+
+    LbaMapGeometry geom;
+    if (chunks > geom.rows * geom.entriesPerRow)
+        return std::nullopt;
+
+    auto allocs = allocate(chunks, policy, pin_slot);
+    if (!allocs)
+        return std::nullopt;
+    // Stagger the starting SSD of consecutive namespaces so that
+    // sequential streams (which dwell in their first chunk for a long
+    // time) spread across the back end even when the chunk count per
+    // namespace is a multiple of the SSD count.
+    if (policy == Policy::RoundRobin && !_pools.empty())
+        _rr = (_rr + 1) % static_cast<int>(_pools.size());
+
+    std::uint32_t nsid = _nextNsid[fn]++;
+    NsBinding &binding =
+        _engine.bind(fn, nsid, bytes / nvme::kBlockSize, geom);
+    for (const Allocation &a : *allocs) {
+        auto pos = binding.map.appendChunk(a.chunk, a.slot);
+        assert(pos && "mapping table full despite size check");
+        (void)pos;
+    }
+    if (!qos.unlimited())
+        _engine.setQos(fn, nsid, qos);
+    _records.push_back(NsRecord{fn, nsid, std::move(*allocs)});
+    return nsid;
+}
+
+bool
+NamespaceManager::destroy(pcie::FunctionId fn, std::uint32_t nsid)
+{
+    auto it = std::find_if(_records.begin(), _records.end(),
+                           [fn, nsid](const NsRecord &r) {
+                               return r.fn == fn && r.nsid == nsid;
+                           });
+    if (it == _records.end())
+        return false;
+    release(it->allocs);
+    _engine.unbind(fn, nsid);
+    _records.erase(it);
+    return true;
+}
+
+std::uint64_t
+NamespaceManager::freeChunks(int slot) const
+{
+    for (const auto &pool : _pools) {
+        if (pool.slot == slot) {
+            return static_cast<std::uint64_t>(
+                std::count(pool.used.begin(), pool.used.end(), false));
+        }
+    }
+    return 0;
+}
+
+std::uint64_t
+NamespaceManager::totalChunks(int slot) const
+{
+    for (const auto &pool : _pools)
+        if (pool.slot == slot)
+            return pool.used.size();
+    return 0;
+}
+
+} // namespace bms::core

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Namespace manager — the BMS-Controller service that carves back-end
+ * SSD capacity into 64 GiB chunks and binds namespaces to front-end
+ * PF/VFs (paper §IV-C "the back-end storage resources can be
+ * dynamically divided into multiple namespaces for the front-end
+ * virtual function").
+ */
+
+#ifndef BMS_CORE_CTRL_NAMESPACE_MANAGER_HH
+#define BMS_CORE_CTRL_NAMESPACE_MANAGER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/engine/bms_engine.hh"
+
+namespace bms::core {
+
+/** Chunk allocator + namespace lifecycle. */
+class NamespaceManager
+{
+  public:
+    /** Placement policy for a namespace's chunks. */
+    enum class Policy
+    {
+        RoundRobin, ///< stripe chunks across SSDs (paper's Fig. 11 setup)
+        Pack,       ///< fill one SSD before using the next
+        Dedicate,   ///< all chunks on one SSD (pin_slot required)
+    };
+
+    explicit NamespaceManager(BmsEngine &engine) : _engine(engine) {}
+
+    /**
+     * Register back-end SSD @p slot with @p capacity_bytes of raw
+     * capacity (called once the host adaptor reports ready).
+     */
+    void registerSsd(int slot, std::uint64_t capacity_bytes);
+
+    /**
+     * Allocate chunks for a namespace of @p bytes and bind it to
+     * function @p fn. Size is rounded up to whole chunks for
+     * allocation; the namespace advertises exactly @p bytes.
+     * @return the nsid, or nullopt when capacity or table space is
+     *         exhausted.
+     */
+    std::optional<std::uint32_t>
+    createAndAttach(pcie::FunctionId fn, std::uint64_t bytes,
+                    Policy policy = Policy::RoundRobin,
+                    QosLimits qos = QosLimits(), int pin_slot = -1);
+
+    /** Destroy a namespace and free its chunks. */
+    bool destroy(pcie::FunctionId fn, std::uint32_t nsid);
+
+    std::uint64_t freeChunks(int slot) const;
+    std::uint64_t totalChunks(int slot) const;
+
+    /** Chunk size in blocks (from the default map geometry). */
+    std::uint64_t
+    chunkBlocks() const
+    {
+        return LbaMapGeometry().chunkBlocks;
+    }
+
+  private:
+    struct Pool
+    {
+        int slot = 0;
+        std::vector<bool> used;
+    };
+
+    struct Allocation
+    {
+        std::uint8_t slot;
+        std::uint8_t chunk;
+    };
+
+    std::optional<std::vector<Allocation>>
+    allocate(std::uint32_t chunks, Policy policy, int pin_slot);
+    void release(const std::vector<Allocation> &allocs);
+
+    BmsEngine &_engine;
+    std::vector<Pool> _pools;
+    int _rr = 0;
+
+    struct NsRecord
+    {
+        pcie::FunctionId fn;
+        std::uint32_t nsid;
+        std::vector<Allocation> allocs;
+    };
+    std::vector<NsRecord> _records;
+    std::vector<std::uint32_t> _nextNsid =
+        std::vector<std::uint32_t>(pcie::kMaxFunctions, 1);
+};
+
+} // namespace bms::core
+
+#endif // BMS_CORE_CTRL_NAMESPACE_MANAGER_HH

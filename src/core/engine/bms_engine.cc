@@ -1,0 +1,158 @@
+#include "core/engine/bms_engine.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace bms::core {
+
+BmsEngine::BmsEngine(sim::Simulator &sim, std::string name,
+                     EngineConfig cfg)
+    : SimObject(sim, name), _cfg(cfg)
+{
+    _qos = std::make_unique<QosModule>(sim, name + ".qos");
+    _target = std::make_unique<TargetController>(sim, name + ".target",
+                                                 *this);
+    _functions.reserve(static_cast<std::size_t>(_cfg.totalFunctions()));
+    for (int i = 0; i < _cfg.totalFunctions(); ++i) {
+        nvme::ControllerModel::Config fc;
+        fc.fn = static_cast<pcie::FunctionId>(i);
+        fc.cmdProcDelay = _cfg.frontPipelineDelay;
+        fc.model = "BM-Store virtual NVMe";
+        bool is_pf = i < _cfg.pfCount;
+        _functions.push_back(std::make_unique<FrontFunction>(
+            sim, name + (is_pf ? ".pf" : ".vf") + std::to_string(i), fc,
+            is_pf,
+            [this](FrontFunction &fn, const nvme::Sqe &sqe,
+                   std::uint16_t sqid) { handleFrontIo(fn, sqe, sqid); }));
+    }
+    // The production board exposes two x8 back-end interfaces; every
+    // pair of SSD slots shares one (paper §IV-E).
+    int ifaces = (_cfg.ssdSlots + 1) / 2;
+    _ifaceLinks.reserve(static_cast<std::size_t>(ifaces));
+    for (int i = 0; i < ifaces; ++i) {
+        _ifaceLinks.push_back(
+            std::make_unique<pcie::PcieLink>(2 * _cfg.backendLanes));
+    }
+    _adaptors.reserve(static_cast<std::size_t>(_cfg.ssdSlots));
+    for (int s = 0; s < _cfg.ssdSlots; ++s) {
+        _adaptors.push_back(std::make_unique<HostAdaptor>(
+            sim, name + ".adaptor" + std::to_string(s),
+            static_cast<std::uint8_t>(s), _chip, _cfg, &_dramBusy,
+            _ifaceLinks[static_cast<std::size_t>(s / 2)].get()));
+    }
+}
+
+void
+BmsEngine::mmioWrite(pcie::FunctionId fn, std::uint64_t offset,
+                     std::uint64_t value)
+{
+    _functions.at(fn)->regWrite(offset, value);
+}
+
+std::uint64_t
+BmsEngine::mmioRead(pcie::FunctionId fn, std::uint64_t offset)
+{
+    return _functions.at(fn)->regRead(offset);
+}
+
+void
+BmsEngine::attached(pcie::PcieUpstreamIf &upstream)
+{
+    _hostUp = &upstream;
+    for (auto &fn : _functions)
+        fn->setUpstream(&upstream);
+    for (auto &ad : _adaptors)
+        ad->setHostUpstream(&upstream);
+}
+
+void
+BmsEngine::attachBackendSsd(int slot, pcie::PcieDeviceIf &ssd,
+                            std::function<void()> ready)
+{
+    HostAdaptor &ad = *_adaptors.at(slot);
+    ad.attachSsd(ssd);
+    ad.init(std::move(ready));
+}
+
+NsBinding &
+BmsEngine::bind(pcie::FunctionId fn, std::uint32_t nsid,
+                std::uint64_t size_blocks, LbaMapGeometry geom)
+{
+    nvme::NamespaceInfo info;
+    info.nsid = nsid;
+    info.sizeBlocks = size_blocks;
+    auto binding = std::make_unique<NsBinding>(fn, nsid, info, geom);
+    std::uint32_t key = binding->key();
+    assert(!_bindings.count(key) && "namespace already bound");
+    assert(size_blocks <= geom.capacityBlocks() &&
+           "namespace larger than its mapping table");
+    NsBinding &ref = *binding;
+    _bindings.emplace(key, std::move(binding));
+    _functions.at(fn)->addNamespace(info);
+    return ref;
+}
+
+void
+BmsEngine::unbind(pcie::FunctionId fn, std::uint32_t nsid)
+{
+    _bindings.erase(QosModule::key(fn, nsid));
+    _functions.at(fn)->removeNamespace(nsid);
+}
+
+NsBinding *
+BmsEngine::findBinding(pcie::FunctionId fn, std::uint32_t nsid)
+{
+    auto it = _bindings.find(QosModule::key(fn, nsid));
+    return it == _bindings.end() ? nullptr : it->second.get();
+}
+
+void
+BmsEngine::setQos(pcie::FunctionId fn, std::uint32_t nsid,
+                  QosLimits limits)
+{
+    _qos->setLimits(QosModule::key(fn, nsid), limits);
+}
+
+void
+BmsEngine::handleFrontIo(FrontFunction &fn, const nvme::Sqe &sqe,
+                         std::uint16_t sqid)
+{
+    _target->handleIo(fn, sqe, sqid);
+}
+
+void
+BmsEngine::storeIoContext(int ssd_slot, std::function<void()> stored)
+{
+    // Pause every function owning a namespace with a chunk on this
+    // SSD; tenant doorbells still latch, commands simply stop being
+    // fetched (that is the stored "context": ring state lives in host
+    // memory and engine registers).
+    for (auto &[key, binding] : _bindings) {
+        (void)key;
+        bool uses = false;
+        const LbaMapGeometry &g = binding->map.geometry();
+        for (std::uint32_t r = 0; r < g.rows && !uses; ++r) {
+            for (std::uint32_t c = 0; c < g.entriesPerRow && !uses; ++c) {
+                if (binding->map.entryValid(r, c) &&
+                    (binding->map.rawEntry(r, c) & 0x03) == ssd_slot) {
+                    uses = true;
+                }
+            }
+        }
+        if (uses)
+            _functions.at(binding->fn)->pauseFetch();
+    }
+    _adaptors.at(ssd_slot)->whenDrained(std::move(stored));
+}
+
+void
+BmsEngine::reloadIoContext(int ssd_slot)
+{
+    (void)ssd_slot;
+    for (auto &fn : _functions) {
+        if (fn->fetchPaused())
+            fn->resumeFetch();
+    }
+}
+
+} // namespace bms::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Front-end PF/VF — one of the 128 standard NVMe controllers the
+ * BMS-Engine's SR-IOV layer exposes to the host (paper Fig. 3 module
+ * 1). The host's stock NVMe driver binds to these functions exactly
+ * as it would to a physical SSD: that is BM-Store's transparency.
+ *
+ * All protocol handling is inherited from nvme::ControllerModel; I/O
+ * commands are handed to the Target Controller.
+ */
+
+#ifndef BMS_CORE_ENGINE_FRONT_FUNCTION_HH
+#define BMS_CORE_ENGINE_FRONT_FUNCTION_HH
+
+#include <functional>
+#include <utility>
+
+#include "nvme/controller.hh"
+
+namespace bms::core {
+
+/** One front-end NVMe function (PF or VF). */
+class FrontFunction : public nvme::ControllerModel
+{
+  public:
+    /** Handler receiving fetched I/O commands (the target ctrl). */
+    using IoHandler = std::function<void(FrontFunction &,
+                                         const nvme::Sqe &, std::uint16_t)>;
+
+    FrontFunction(sim::Simulator &sim, std::string name, Config cfg,
+                  bool is_pf, IoHandler io)
+        : ControllerModel(sim, std::move(name), cfg),
+          _isPf(is_pf),
+          _io(std::move(io))
+    {}
+
+    bool isPf() const { return _isPf; }
+
+  protected:
+    void
+    executeIo(const nvme::Sqe &sqe, std::uint16_t sqid) override
+    {
+        _io(*this, sqe, sqid);
+    }
+
+  private:
+    bool _isPf;
+    IoHandler _io;
+};
+
+} // namespace bms::core
+
+#endif // BMS_CORE_ENGINE_FRONT_FUNCTION_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Global PRP encoding — paper Fig. 4(b).
+ *
+ * The BMS-Engine combines the host's PCIe domain and the back-end
+ * SSDs' domain into one address space by rewriting each host PRP
+ * entry: the first 8 of the 16 reserved high bits carry a 7-bit
+ * PF/VF function id and a 1-bit PRP-list flag; the low 48 bits keep
+ * the original host physical address. When a back-end SSD later
+ * issues a DMA TLP against such an address, the engine's DMA router
+ * recovers the function id and forwards the request to the right
+ * host PF/VF — zero-copy, no staging in engine DRAM.
+ *
+ * Layout (bit 63 .. bit 0):
+ *
+ *   [63:57] function id (7 bits)
+ *   [56]    PRP-list flag
+ *   [55:48] reserved (zero; bit 55 is used by the engine's own
+ *           chip-memory window, which is never a global PRP)
+ *   [47:0]  original host physical address
+ */
+
+#ifndef BMS_CORE_ENGINE_GLOBAL_PRP_HH
+#define BMS_CORE_ENGINE_GLOBAL_PRP_HH
+
+#include <cstdint>
+
+#include "pcie/types.hh"
+
+namespace bms::core {
+
+/** Encoder/decoder for global PRP entries. */
+struct GlobalPrp
+{
+    static constexpr int kFnShift = 57;
+    static constexpr std::uint64_t kFnMask = 0x7full;
+    static constexpr std::uint64_t kListFlag = 1ull << 56;
+    static constexpr std::uint64_t kAddrMask = (1ull << 48) - 1;
+
+    /** Bits that distinguish a global PRP from a plain host address. */
+    static constexpr std::uint64_t kTagMask = ~((1ull << 56) - 1);
+
+    /**
+     * Encode @p host_addr for function @p fn.
+     * @param is_list true when the entry points at a PRP list that
+     *        itself lives in engine chip memory.
+     */
+    static std::uint64_t
+    encode(std::uint64_t host_addr, pcie::FunctionId fn, bool is_list)
+    {
+        std::uint64_t v = host_addr & kAddrMask;
+        v |= (static_cast<std::uint64_t>(fn) & kFnMask) << kFnShift;
+        if (is_list)
+            v |= kListFlag;
+        return v;
+    }
+
+    /** True if @p prp carries a function tag (fn != 0 or list flag). */
+    static bool
+    isGlobal(std::uint64_t prp)
+    {
+        return (prp & (kTagMask | kListFlag)) != 0;
+    }
+
+    static pcie::FunctionId
+    functionOf(std::uint64_t prp)
+    {
+        return static_cast<pcie::FunctionId>((prp >> kFnShift) & kFnMask);
+    }
+
+    static bool listFlag(std::uint64_t prp) { return prp & kListFlag; }
+
+    static std::uint64_t originalAddr(std::uint64_t prp)
+    {
+        return prp & kAddrMask;
+    }
+};
+
+} // namespace bms::core
+
+#endif // BMS_CORE_ENGINE_GLOBAL_PRP_HH

@@ -1,0 +1,108 @@
+#include "core/engine/lba_map.hh"
+
+#include <cassert>
+
+namespace bms::core {
+
+LbaMapTable::LbaMapTable(LbaMapGeometry geom)
+    : _geom(geom),
+      _entries(static_cast<std::size_t>(geom.rows) * geom.entriesPerRow, 0),
+      _validation(geom.rows, 0)
+{
+    assert(geom.rows > 0 && geom.entriesPerRow > 0);
+    assert(geom.entriesPerRow <= 8 &&
+           "validation vector is an 8-bit field per row (Fig. 4(a))");
+    assert(geom.chunkBlocks > 0);
+}
+
+bool
+LbaMapTable::setEntry(std::uint32_t row, std::uint32_t col,
+                      std::uint8_t chunk_base, std::uint8_t ssd_id)
+{
+    if (row >= _geom.rows || col >= _geom.entriesPerRow)
+        return false;
+    if (chunk_base > kBaseMax || ssd_id > kSsdIdMask)
+        return false;
+    _entries[row * _geom.entriesPerRow + col] =
+        static_cast<std::uint8_t>((chunk_base << kBaseShift) | ssd_id);
+    _validation[row] |= static_cast<std::uint8_t>(1u << col);
+    return true;
+}
+
+void
+LbaMapTable::invalidate(std::uint32_t row, std::uint32_t col)
+{
+    if (row >= _geom.rows || col >= _geom.entriesPerRow)
+        return;
+    _validation[row] &= static_cast<std::uint8_t>(~(1u << col));
+}
+
+std::uint8_t
+LbaMapTable::rawEntry(std::uint32_t row, std::uint32_t col) const
+{
+    assert(row < _geom.rows && col < _geom.entriesPerRow);
+    return _entries[row * _geom.entriesPerRow + col];
+}
+
+std::uint8_t
+LbaMapTable::validationVector(std::uint32_t row) const
+{
+    assert(row < _geom.rows);
+    return _validation[row];
+}
+
+bool
+LbaMapTable::entryValid(std::uint32_t row, std::uint32_t col) const
+{
+    if (row >= _geom.rows || col >= _geom.entriesPerRow)
+        return false;
+    return _validation[row] & (1u << col);
+}
+
+std::optional<LbaMapping>
+LbaMapTable::translate(std::uint64_t host_lba) const
+{
+    std::uint64_t chunk = host_lba / _geom.chunkBlocks; // HL / CS
+    std::uint64_t row = chunk / _geom.entriesPerRow;    // Eq. (1)
+    std::uint64_t col = chunk % _geom.entriesPerRow;    // Eq. (2)
+    if (row >= _geom.rows)
+        return std::nullopt;
+    if (!(_validation[row] & (1u << col)))
+        return std::nullopt;
+    std::uint8_t entry =
+        _entries[row * _geom.entriesPerRow + col];
+    LbaMapping m;
+    m.ssdId = entry & kSsdIdMask;                                // Eq. (3)
+    std::uint64_t base = entry >> kBaseShift;
+    m.physLba = base * _geom.chunkBlocks +
+                host_lba % _geom.chunkBlocks;                    // Eq. (4)
+    return m;
+}
+
+std::optional<std::pair<std::uint32_t, std::uint32_t>>
+LbaMapTable::appendChunk(std::uint8_t chunk_base, std::uint8_t ssd_id)
+{
+    for (std::uint32_t row = 0; row < _geom.rows; ++row) {
+        for (std::uint32_t col = 0; col < _geom.entriesPerRow; ++col) {
+            if (!entryValid(row, col)) {
+                if (!setEntry(row, col, chunk_base, ssd_id))
+                    return std::nullopt;
+                return std::make_pair(row, col);
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+std::uint32_t
+LbaMapTable::validCount() const
+{
+    std::uint32_t n = 0;
+    for (std::uint32_t row = 0; row < _geom.rows; ++row)
+        for (std::uint32_t col = 0; col < _geom.entriesPerRow; ++col)
+            if (entryValid(row, col))
+                ++n;
+    return n;
+}
+
+} // namespace bms::core

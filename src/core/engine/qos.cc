@@ -1,0 +1,140 @@
+#include "core/engine/qos.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bms::core {
+
+namespace {
+
+/** Token-bucket burst window: 10 ms of the configured rate. */
+constexpr double kBurstSec = 0.010;
+
+} // namespace
+
+void
+QosModule::setLimits(std::uint32_t ns_key, QosLimits limits)
+{
+    NsState &ns = _ns[ns_key];
+    ns.limits = limits;
+    ns.lastRefill = now();
+    // Start with a full burst allowance.
+    ns.opsTokens = limits.iopsLimit * kBurstSec;
+    ns.byteTokens = limits.mbPerSecLimit * 1e6 * kBurstSec;
+}
+
+const QosLimits *
+QosModule::limitsFor(std::uint32_t ns_key) const
+{
+    auto it = _ns.find(ns_key);
+    return it == _ns.end() ? nullptr : &it->second.limits;
+}
+
+std::size_t
+QosModule::bufferDepth(std::uint32_t ns_key) const
+{
+    auto it = _ns.find(ns_key);
+    return it == _ns.end() ? 0 : it->second.buffer.size();
+}
+
+void
+QosModule::refill(NsState &ns)
+{
+    double dt = sim::toSec(now() - ns.lastRefill);
+    ns.lastRefill = now();
+    if (ns.limits.iopsLimit > 0.0) {
+        ns.opsTokens = std::min(ns.opsTokens + ns.limits.iopsLimit * dt,
+                                std::max(ns.limits.iopsLimit * kBurstSec,
+                                         1.0));
+    }
+    if (ns.limits.mbPerSecLimit > 0.0) {
+        double rate = ns.limits.mbPerSecLimit * 1e6;
+        ns.byteTokens =
+            std::min(ns.byteTokens + rate * dt,
+                     std::max(rate * kBurstSec, 256.0 * 1024));
+    }
+}
+
+bool
+QosModule::tryConsume(NsState &ns, std::uint64_t bytes)
+{
+    bool need_ops = ns.limits.iopsLimit > 0.0;
+    bool need_bytes = ns.limits.mbPerSecLimit > 0.0;
+    if (need_ops && ns.opsTokens < 1.0)
+        return false;
+    if (need_bytes && ns.byteTokens < static_cast<double>(bytes))
+        return false;
+    if (need_ops)
+        ns.opsTokens -= 1.0;
+    if (need_bytes)
+        ns.byteTokens -= static_cast<double>(bytes);
+    return true;
+}
+
+sim::Tick
+QosModule::readyDelay(const NsState &ns, std::uint64_t bytes) const
+{
+    double wait_sec = 0.0;
+    if (ns.limits.iopsLimit > 0.0 && ns.opsTokens < 1.0) {
+        wait_sec = std::max(wait_sec,
+                            (1.0 - ns.opsTokens) / ns.limits.iopsLimit);
+    }
+    if (ns.limits.mbPerSecLimit > 0.0) {
+        double rate = ns.limits.mbPerSecLimit * 1e6;
+        double deficit = static_cast<double>(bytes) - ns.byteTokens;
+        if (deficit > 0.0)
+            wait_sec = std::max(wait_sec, deficit / rate);
+    }
+    return static_cast<sim::Tick>(wait_sec * 1e9) + 1;
+}
+
+void
+QosModule::submit(std::uint32_t ns_key, std::uint64_t bytes,
+                  std::function<void()> forward)
+{
+    auto it = _ns.find(ns_key);
+    if (it == _ns.end() || it->second.limits.unlimited()) {
+        // No threshold programmed: pass through (Fig. 5 fast path).
+        ++_passed;
+        forward();
+        return;
+    }
+    NsState &ns = it->second;
+    refill(ns);
+    if (ns.buffer.empty() && tryConsume(ns, bytes)) {
+        ++_passed;
+        forward();
+        return;
+    }
+    // Threshold reached: into the command buffer.
+    ++_buffered;
+    ns.buffer.emplace_back(bytes, std::move(forward));
+    scheduleDispatch(ns_key);
+}
+
+void
+QosModule::scheduleDispatch(std::uint32_t ns_key)
+{
+    NsState &ns = _ns[ns_key];
+    if (ns.dispatchScheduled || ns.buffer.empty())
+        return;
+    ns.dispatchScheduled = true;
+    sim::Tick delay = readyDelay(ns, ns.buffer.front().first);
+    schedule(delay, [this, ns_key] { dispatch(ns_key); });
+}
+
+void
+QosModule::dispatch(std::uint32_t ns_key)
+{
+    NsState &ns = _ns[ns_key];
+    ns.dispatchScheduled = false;
+    refill(ns);
+    while (!ns.buffer.empty() && tryConsume(ns, ns.buffer.front().first)) {
+        auto forward = std::move(ns.buffer.front().second);
+        ns.buffer.pop_front();
+        forward();
+    }
+    scheduleDispatch(ns_key);
+}
+
+} // namespace bms::core

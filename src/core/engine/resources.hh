@@ -1,0 +1,103 @@
+/**
+ * @file
+ * FPGA resource model of the BMS-Engine — regenerates Table II.
+ *
+ * Fitted as base + per-SSD increments against the paper's reported
+ * utilization on the Xilinx Zynq UltraScale+ ZU19EG (the fit is exact
+ * for LUTs/registers/URAMs and within 1-2 units for BRAMs, which the
+ * paper rounds):
+ *
+ *   LUTs      = 188711 + 28000 * nSsd
+ *   Registers = 182309 + 44000 * nSsd
+ *   BRAMs     =    482 +    44 * nSsd
+ *   URAMs     =   39.4 +    10 * nSsd
+ */
+
+#ifndef BMS_CORE_ENGINE_RESOURCES_HH
+#define BMS_CORE_ENGINE_RESOURCES_HH
+
+#include <cstdint>
+
+namespace bms::core {
+
+/** ZU19EG device totals (Xilinx DS891). */
+struct FpgaDevice
+{
+    std::uint32_t luts = 522720;
+    std::uint32_t registers = 1045440;
+    std::uint32_t brams = 984;
+    double urams = 128;
+};
+
+/** Utilization of one BMS-Engine configuration. */
+struct FpgaUtilization
+{
+    int ssds = 0;
+    std::uint32_t luts = 0;
+    std::uint32_t registers = 0;
+    std::uint32_t brams = 0;
+    double urams = 0;
+    int clockMhz = 250;
+
+    double lutPct(const FpgaDevice &d = {}) const
+    {
+        return 100.0 * luts / d.luts;
+    }
+    double regPct(const FpgaDevice &d = {}) const
+    {
+        return 100.0 * registers / d.registers;
+    }
+    double bramPct(const FpgaDevice &d = {}) const
+    {
+        return 100.0 * brams / d.brams;
+    }
+    double uramPct(const FpgaDevice &d = {}) const
+    {
+        return 100.0 * urams / d.urams;
+    }
+};
+
+/** Resource model: shared infrastructure + per-SSD host adaptor. */
+struct FpgaResourceModel
+{
+    std::uint32_t baseLuts = 188711;
+    std::uint32_t lutsPerSsd = 28000;
+    std::uint32_t baseRegisters = 182309;
+    std::uint32_t registersPerSsd = 44000;
+    std::uint32_t baseBrams = 482;
+    std::uint32_t bramsPerSsd = 44;
+    double baseUrams = 39.4;
+    double uramsPerSsd = 10.0;
+
+    FpgaUtilization
+    forSsds(int n) const
+    {
+        FpgaUtilization u;
+        u.ssds = n;
+        u.luts = baseLuts + lutsPerSsd * static_cast<std::uint32_t>(n);
+        u.registers =
+            baseRegisters + registersPerSsd * static_cast<std::uint32_t>(n);
+        u.brams = baseBrams + bramsPerSsd * static_cast<std::uint32_t>(n);
+        u.urams = baseUrams + uramsPerSsd * n;
+        return u;
+    }
+
+    /** Largest SSD count that fits the device (scalability headroom). */
+    int
+    maxSsds(const FpgaDevice &d = {}) const
+    {
+        int n = 0;
+        while (true) {
+            FpgaUtilization u = forSsds(n + 1);
+            if (u.luts > d.luts || u.registers > d.registers ||
+                u.brams > d.brams || u.urams > d.urams) {
+                return n;
+            }
+            ++n;
+        }
+    }
+};
+
+} // namespace bms::core
+
+#endif // BMS_CORE_ENGINE_RESOURCES_HH

@@ -1,0 +1,271 @@
+#include "core/engine/target_controller.hh"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "core/engine/bms_engine.hh"
+#include "core/engine/global_prp.hh"
+#include "nvme/prp.hh"
+
+namespace bms::core {
+
+using nvme::IoOpcode;
+using nvme::Sqe;
+using nvme::Status;
+
+TargetController::TargetController(sim::Simulator &sim, std::string name,
+                                   BmsEngine &engine)
+    : SimObject(sim, std::move(name)), _engine(engine)
+{
+    registerStat("forwarded", [this] { return double(_forwarded); });
+    registerStat("split", [this] { return double(_split); });
+    registerStat("prpListsRewritten",
+                 [this] { return double(_listsRewritten); });
+    registerStat("errors", [this] { return double(_errors); });
+}
+
+void
+TargetController::fail(FrontFunction &fn, const Sqe &sqe,
+                       std::uint16_t sqid, Status st)
+{
+    ++_errors;
+    fn.complete(sqid, sqe.cid, st);
+}
+
+void
+TargetController::handleIo(FrontFunction &fn, const Sqe &sqe,
+                           std::uint16_t sqid)
+{
+    NsBinding *binding = _engine.findBinding(fn.functionId(), sqe.nsid);
+    if (!binding) {
+        fail(fn, sqe, sqid, Status::InvalidNamespace);
+        return;
+    }
+    auto op = static_cast<IoOpcode>(sqe.opcode);
+    if (op == IoOpcode::Flush) {
+        forwardFlush(fn, sqe, sqid, *binding);
+        return;
+    }
+    if (op != IoOpcode::Read && op != IoOpcode::Write) {
+        fail(fn, sqe, sqid, Status::InvalidOpcode);
+        return;
+    }
+    if (sqe.slba() + sqe.nlb() > binding->info.sizeBlocks) {
+        fail(fn, sqe, sqid, Status::LbaOutOfRange);
+        return;
+    }
+    // Step ②: QoS threshold check; buffered commands re-enter here
+    // from the command dispatcher.
+    _engine.qos().submit(binding->key(), sqe.dataBytes(),
+                         [this, &fn, sqe, sqid, binding] {
+                             forward(fn, sqe, sqid, *binding);
+                         });
+}
+
+void
+TargetController::forward(FrontFunction &fn, const Sqe &sqe,
+                          std::uint16_t sqid, NsBinding &binding)
+{
+    // Carve the command into chunk-contiguous extents (almost always
+    // exactly one: chunks are 64 GiB and host I/O is <= 2 MiB).
+    const std::uint64_t chunk_blocks = binding.map.geometry().chunkBlocks;
+    std::vector<Extent> extents;
+    std::uint64_t lba = sqe.slba();
+    std::uint64_t remaining = sqe.nlb();
+    std::uint64_t byte_off = 0;
+    while (remaining > 0) {
+        std::uint64_t in_chunk = chunk_blocks - (lba % chunk_blocks);
+        std::uint64_t blocks = remaining < in_chunk ? remaining : in_chunk;
+        auto mapping = binding.map.translate(lba);
+        if (!mapping) {
+            fail(fn, sqe, sqid, Status::LbaOutOfRange);
+            return;
+        }
+        extents.push_back(Extent{mapping->ssdId, mapping->physLba,
+                                 byte_off, blocks});
+        lba += blocks;
+        remaining -= blocks;
+        byte_off += blocks * nvme::kBlockSize;
+    }
+
+    std::uint64_t len = sqe.dataBytes();
+    if (!nvme::needsPrpList(sqe.prp1, len)) {
+        std::vector<std::uint64_t> pages;
+        pages.push_back(sqe.prp1);
+        if (nvme::prpPageCount(sqe.prp1, len) == 2)
+            pages.push_back(sqe.prp2);
+        dispatchExtents(fn, sqe, sqid, std::move(extents),
+                        std::move(pages));
+        return;
+    }
+
+    // Step ③: fetch the host PRP list over the host link, rewrite it
+    // into global PRPs, and stage the rewritten copy in chip memory.
+    std::uint32_t entries = nvme::prpPageCount(sqe.prp1, len) - 1;
+    auto raw = std::make_shared<std::vector<std::uint64_t>>(entries);
+    _engine.hostUpstream()->dmaRead(
+        sqe.prp2, static_cast<std::uint32_t>(entries * 8),
+        reinterpret_cast<std::uint8_t *>(raw->data()),
+        [this, &fn, sqe, sqid, extents = std::move(extents), raw]() mutable {
+            std::vector<std::uint64_t> pages;
+            pages.reserve(raw->size() + 1);
+            pages.push_back(sqe.prp1);
+            for (std::uint64_t e : *raw)
+                pages.push_back(e);
+            dispatchExtents(fn, sqe, sqid, std::move(extents),
+                            std::move(pages));
+        });
+}
+
+void
+TargetController::dispatchExtents(FrontFunction &fn, const Sqe &sqe,
+                                  std::uint16_t sqid,
+                                  std::vector<Extent> extents,
+                                  std::vector<std::uint64_t> host_pages)
+{
+    assert(!extents.empty());
+    const pcie::FunctionId fn_id = fn.functionId();
+    if (extents.size() > 1) {
+        ++_split;
+        assert(sqe.prp1 % nvme::kPageSize == 0 &&
+               "chunk-straddling I/O requires page-aligned buffers");
+    }
+
+    auto remaining = std::make_shared<std::size_t>(extents.size());
+    auto worst = std::make_shared<Status>(Status::Success);
+    std::uint16_t cid = sqe.cid;
+    auto on_backend_cqe = [this, &fn, sqid, cid, remaining,
+                           worst](const nvme::Cqe &cqe) {
+        if (!cqe.ok())
+            *worst = cqe.status();
+        if (--*remaining == 0) {
+            // Step ⑦: post the front-end CQE after the completion
+            // pipeline.
+            Status st = *worst;
+            if (st != Status::Success)
+                ++_errors;
+            schedule(_engine.config().completionPipelineDelay,
+                     [&fn, sqid, cid, st] { fn.complete(sqid, cid, st); });
+        }
+    };
+
+    for (const Extent &ext : extents) {
+        HostAdaptor &ad = _engine.adaptor(ext.ssdId);
+        if (!ad.ready()) {
+            *worst = Status::NamespaceNotReady;
+            on_backend_cqe(nvme::Cqe{});
+            continue;
+        }
+
+        Sqe bsqe = sqe;
+        bsqe.nsid = 1; // back-end SSDs expose one raw namespace
+        bsqe.setSlba(ext.physLba);
+        bsqe.setNlb(static_cast<std::uint32_t>(ext.blocks));
+
+        std::uint64_t ext_len = ext.blocks * nvme::kBlockSize;
+        std::size_t first_page = 0;
+        if (extents.size() == 1) {
+            // Fast path: rewrite PRP1/PRP2 in place (step ③).
+            bsqe.prp1 = GlobalPrp::encode(sqe.prp1, fn_id, false);
+            std::uint32_t pages = nvme::prpPageCount(sqe.prp1,
+                                                     sqe.dataBytes());
+            if (pages == 2) {
+                bsqe.prp2 = GlobalPrp::encode(sqe.prp2, fn_id, false);
+            } else if (pages > 2) {
+                ++_listsRewritten;
+                std::vector<std::uint64_t> list;
+                list.reserve(host_pages.size() - 1);
+                for (std::size_t i = 1; i < host_pages.size(); ++i)
+                    list.push_back(GlobalPrp::encode(host_pages[i], fn_id,
+                                                     false));
+                std::uint64_t chip_addr = _engine.chipMemory().alloc(
+                    list.size() * 8, 8);
+                _engine.chipMemory().write(
+                    chip_addr, static_cast<std::uint32_t>(list.size() * 8),
+                    reinterpret_cast<const std::uint8_t *>(list.data()));
+                bsqe.prp2 = GlobalPrp::encode(chip_addr, fn_id, true);
+            } else {
+                bsqe.prp2 = 0;
+            }
+        } else {
+            // Split path: select this extent's pages.
+            first_page = ext.byteOffset / nvme::kPageSize;
+            std::size_t page_count =
+                (ext_len + nvme::kPageSize - 1) / nvme::kPageSize;
+            assert(first_page + page_count <= host_pages.size());
+            bsqe.prp1 = GlobalPrp::encode(host_pages[first_page], fn_id,
+                                          false);
+            if (page_count == 1) {
+                bsqe.prp2 = 0;
+            } else if (page_count == 2) {
+                bsqe.prp2 = GlobalPrp::encode(host_pages[first_page + 1],
+                                              fn_id, false);
+            } else {
+                ++_listsRewritten;
+                std::vector<std::uint64_t> list;
+                for (std::size_t i = 1; i < page_count; ++i)
+                    list.push_back(GlobalPrp::encode(
+                        host_pages[first_page + i], fn_id, false));
+                std::uint64_t chip_addr = _engine.chipMemory().alloc(
+                    list.size() * 8, 8);
+                _engine.chipMemory().write(
+                    chip_addr, static_cast<std::uint32_t>(list.size() * 8),
+                    reinterpret_cast<const std::uint8_t *>(list.data()));
+                bsqe.prp2 = GlobalPrp::encode(chip_addr, fn_id, true);
+            }
+        }
+
+        ++_forwarded;
+        ad.submitIo(bsqe, on_backend_cqe);
+    }
+}
+
+void
+TargetController::forwardFlush(FrontFunction &fn, const Sqe &sqe,
+                               std::uint16_t sqid, NsBinding &binding)
+{
+    // Flush every back-end SSD this namespace has a chunk on.
+    bool used[4] = {false, false, false, false};
+    const LbaMapGeometry &g = binding.map.geometry();
+    for (std::uint32_t r = 0; r < g.rows; ++r)
+        for (std::uint32_t c = 0; c < g.entriesPerRow; ++c)
+            if (binding.map.entryValid(r, c))
+                used[binding.map.rawEntry(r, c) & 0x03] = true;
+
+    std::size_t targets = 0;
+    for (bool u : used)
+        targets += u ? 1 : 0;
+    if (targets == 0) {
+        fn.complete(sqid, sqe.cid, Status::Success);
+        return;
+    }
+
+    auto remaining = std::make_shared<std::size_t>(targets);
+    std::uint16_t cid = sqe.cid;
+    for (int s = 0; s < 4 && s < _engine.ssdSlots(); ++s) {
+        if (!used[s])
+            continue;
+        Sqe bsqe = sqe;
+        bsqe.nsid = 1;
+        HostAdaptor &ad = _engine.adaptor(s);
+        if (!ad.ready()) {
+            if (--*remaining == 0)
+                fn.complete(sqid, cid, Status::NamespaceNotReady);
+            continue;
+        }
+        ++_forwarded;
+        ad.submitIo(bsqe, [this, &fn, sqid, cid,
+                           remaining](const nvme::Cqe &cqe) {
+            (void)cqe;
+            if (--*remaining == 0) {
+                schedule(_engine.config().completionPipelineDelay,
+                         [&fn, sqid, cid] {
+                             fn.complete(sqid, cid, Status::Success);
+                         });
+            }
+        });
+    }
+}
+
+} // namespace bms::core

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Target Controller — paper Fig. 3 module 2, executing steps ②-③ of
+ * the Fig. 6 command path:
+ *
+ *  - look up the (function, namespace) binding;
+ *  - translate host LBA → (SSD id, physical LBA) via the namespace's
+ *    LBA Mapping Table, splitting commands that straddle chunk
+ *    boundaries;
+ *  - pass the command through the QoS module;
+ *  - rewrite PRPs into global PRPs (fetching and rewriting the host
+ *    PRP list into chip memory when present);
+ *  - forward the rewritten SQE(s) to the right host adaptor and post
+ *    the front-end completion when all parts finish.
+ */
+
+#ifndef BMS_CORE_ENGINE_TARGET_CONTROLLER_HH
+#define BMS_CORE_ENGINE_TARGET_CONTROLLER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine/engine_config.hh"
+#include "nvme/defs.hh"
+#include "sim/simulator.hh"
+
+namespace bms::core {
+
+class BmsEngine;
+class FrontFunction;
+struct NsBinding;
+
+/** Command-forwarding logic of the BMS-Engine. */
+class TargetController : public sim::SimObject
+{
+  public:
+    TargetController(sim::Simulator &sim, std::string name,
+                     BmsEngine &engine);
+
+    /** Entry point for I/O commands fetched by a front function. */
+    void handleIo(FrontFunction &fn, const nvme::Sqe &sqe,
+                  std::uint16_t sqid);
+
+    /** @name Counters (I/O monitor registers). */
+    /// @{
+    std::uint64_t forwardedCommands() const { return _forwarded; }
+    std::uint64_t splitCommands() const { return _split; }
+    std::uint64_t rewrittenPrpLists() const { return _listsRewritten; }
+    std::uint64_t errorCompletions() const { return _errors; }
+    /// @}
+
+  private:
+    struct Extent
+    {
+        std::uint8_t ssdId = 0;
+        std::uint64_t physLba = 0;
+        std::uint64_t byteOffset = 0; ///< offset within the transfer
+        std::uint64_t blocks = 0;
+    };
+
+    void forward(FrontFunction &fn, const nvme::Sqe &sqe,
+                 std::uint16_t sqid, NsBinding &binding);
+    void forwardFlush(FrontFunction &fn, const nvme::Sqe &sqe,
+                      std::uint16_t sqid, NsBinding &binding);
+    void dispatchExtents(FrontFunction &fn, const nvme::Sqe &sqe,
+                         std::uint16_t sqid,
+                         std::vector<Extent> extents,
+                         std::vector<std::uint64_t> host_pages);
+    void fail(FrontFunction &fn, const nvme::Sqe &sqe, std::uint16_t sqid,
+              nvme::Status st);
+
+    BmsEngine &_engine;
+    std::uint64_t _forwarded = 0;
+    std::uint64_t _split = 0;
+    std::uint64_t _listsRewritten = 0;
+    std::uint64_t _errors = 0;
+};
+
+} // namespace bms::core
+
+#endif // BMS_CORE_ENGINE_TARGET_CONTROLLER_HH

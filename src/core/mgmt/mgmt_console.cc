@@ -1,0 +1,199 @@
+#include "core/mgmt/mgmt_console.hh"
+
+#include <utility>
+
+namespace bms::core {
+
+MgmtConsole::MgmtConsole(sim::Simulator &sim, std::string name, Eid eid)
+    : SimObject(sim, name)
+{
+    _endpoint = std::make_unique<MctpEndpoint>(sim, name + ".mctp", eid);
+    _endpoint->setHandler(
+        [this](Eid src, MctpMsgType type, std::vector<std::uint8_t> raw) {
+            onMessage(src, type, std::move(raw));
+        });
+}
+
+void
+MgmtConsole::request(Eid ctrl, MiOpcode op,
+                     std::vector<std::uint8_t> payload, RawHandler handler)
+{
+    MiMessage req;
+    req.kind = MiMessage::Kind::Request;
+    req.opcode = op;
+    req.tag = _nextTag++;
+    req.payload = std::move(payload);
+    _pending[req.tag] = std::move(handler);
+    ++_requests;
+    _endpoint->sendMessage(ctrl, MctpMsgType::NvmeMi, req.serialize());
+}
+
+void
+MgmtConsole::onMessage(Eid src, MctpMsgType type,
+                       std::vector<std::uint8_t> raw)
+{
+    (void)src;
+    if (type != MctpMsgType::NvmeMi)
+        return;
+    MiMessage resp;
+    if (!MiMessage::parse(raw, resp) ||
+        resp.kind != MiMessage::Kind::Response) {
+        logWarn("malformed NVMe-MI response");
+        return;
+    }
+    auto it = _pending.find(resp.tag);
+    if (it == _pending.end()) {
+        logWarn("NVMe-MI response with unknown tag ", resp.tag);
+        return;
+    }
+    RawHandler handler = std::move(it->second);
+    _pending.erase(it);
+    handler(resp);
+}
+
+void
+MgmtConsole::healthPoll(Eid ctrl,
+                        std::function<void(std::vector<SlotHealth>)> cb)
+{
+    request(ctrl, MiOpcode::HealthStatusPoll, {},
+            [cb = std::move(cb)](const MiMessage &resp) {
+                std::vector<SlotHealth> out;
+                wire::Reader r(resp.payload);
+                std::uint8_t n = r.u8();
+                for (std::uint8_t i = 0; i < n && r.ok(); ++i) {
+                    SlotHealth h;
+                    h.slot = r.u8();
+                    h.present = r.u8() != 0;
+                    h.upgrading = r.u8() != 0;
+                    h.firmwareRev = r.str();
+                    h.capacityBytes = r.u64();
+                    h.inflight = r.u32();
+                    h.temperatureK = r.u16();
+                    h.percentageUsed = r.u8();
+                    h.powerOnHours = r.u64();
+                    h.mediaErrors = r.u64();
+                    out.push_back(std::move(h));
+                }
+                cb(std::move(out));
+            });
+}
+
+void
+MgmtConsole::createNamespace(
+    Eid ctrl, std::uint8_t fn, std::uint64_t bytes, std::uint8_t policy,
+    QosLimits qos,
+    std::function<void(std::optional<std::uint32_t>)> cb)
+{
+    wire::Writer w;
+    w.u8(fn);
+    w.u64(bytes);
+    w.u8(policy);
+    w.f64(qos.iopsLimit);
+    w.f64(qos.mbPerSecLimit);
+    request(ctrl, MiOpcode::VendorCreateNamespace, w.take(),
+            [cb = std::move(cb)](const MiMessage &resp) {
+                if (resp.status != MiStatus::Success) {
+                    cb(std::nullopt);
+                    return;
+                }
+                wire::Reader r(resp.payload);
+                std::uint32_t nsid = r.u32();
+                cb(r.ok() ? std::optional<std::uint32_t>(nsid)
+                          : std::nullopt);
+            });
+}
+
+void
+MgmtConsole::destroyNamespace(Eid ctrl, std::uint8_t fn,
+                              std::uint32_t nsid,
+                              std::function<void(bool)> cb)
+{
+    wire::Writer w;
+    w.u8(fn);
+    w.u32(nsid);
+    request(ctrl, MiOpcode::VendorDestroyNamespace, w.take(),
+            [cb = std::move(cb)](const MiMessage &resp) {
+                cb(resp.status == MiStatus::Success);
+            });
+}
+
+void
+MgmtConsole::setQos(Eid ctrl, std::uint8_t fn, std::uint32_t nsid,
+                    QosLimits qos, std::function<void(bool)> cb)
+{
+    wire::Writer w;
+    w.u8(fn);
+    w.u32(nsid);
+    w.f64(qos.iopsLimit);
+    w.f64(qos.mbPerSecLimit);
+    request(ctrl, MiOpcode::VendorSetQos, w.take(),
+            [cb = std::move(cb)](const MiMessage &resp) {
+                cb(resp.status == MiStatus::Success);
+            });
+}
+
+void
+MgmtConsole::ioStats(Eid ctrl, std::uint8_t fn,
+                     std::function<void(std::optional<MiIoStats>)> cb)
+{
+    wire::Writer w;
+    w.u8(fn);
+    request(ctrl, MiOpcode::VendorIoStats, w.take(),
+            [cb = std::move(cb)](const MiMessage &resp) {
+                if (resp.status != MiStatus::Success) {
+                    cb(std::nullopt);
+                    return;
+                }
+                wire::Reader r(resp.payload);
+                MiIoStats s;
+                s.readOps = r.u64();
+                s.writeOps = r.u64();
+                s.readIops = r.f64();
+                s.writeIops = r.f64();
+                s.readMbps = r.f64();
+                s.writeMbps = r.f64();
+                cb(r.ok() ? std::optional<MiIoStats>(s) : std::nullopt);
+            });
+}
+
+void
+MgmtConsole::firmwareUpgrade(Eid ctrl, std::uint8_t slot,
+                             std::uint32_t image_bytes,
+                             std::function<void(MiUpgradeResult)> cb)
+{
+    wire::Writer w;
+    w.u8(slot);
+    w.u32(image_bytes);
+    request(ctrl, MiOpcode::VendorFirmwareUpgrade, w.take(),
+            [cb = std::move(cb)](const MiMessage &resp) {
+                MiUpgradeResult res;
+                wire::Reader r(resp.payload);
+                res.ok = r.u8() != 0 &&
+                         resp.status == MiStatus::Success;
+                res.storeMs = r.f64();
+                res.firmwareMs = r.f64();
+                res.reloadMs = r.f64();
+                res.totalMs = r.f64();
+                res.ioPauseMs = r.f64();
+                cb(res);
+            });
+}
+
+void
+MgmtConsole::hotPlug(Eid ctrl, std::uint8_t slot,
+                     std::function<void(MiHotPlugResult)> cb)
+{
+    wire::Writer w;
+    w.u8(slot);
+    request(ctrl, MiOpcode::VendorHotPlug, w.take(),
+            [cb = std::move(cb)](const MiMessage &resp) {
+                MiHotPlugResult res;
+                wire::Reader r(resp.payload);
+                res.ok = r.u8() != 0 &&
+                         resp.status == MiStatus::Success;
+                res.ioPauseMs = r.f64();
+                cb(res);
+            });
+}
+
+} // namespace bms::core

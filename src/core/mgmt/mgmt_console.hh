@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Remote management console — the cloud operator's side of the
+ * out-of-band path. Sends NVMe-MI requests over MCTP to a
+ * BMS-Controller endpoint and delivers typed responses to callbacks.
+ * Everything here runs without any host-OS involvement, which is the
+ * manageability story of the paper.
+ */
+
+#ifndef BMS_CORE_MGMT_MGMT_CONSOLE_HH
+#define BMS_CORE_MGMT_MGMT_CONSOLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine/qos.hh"
+#include "core/mgmt/mctp.hh"
+#include "core/mgmt/nvme_mi.hh"
+#include "sim/simulator.hh"
+
+namespace bms::core {
+
+/** Remote MCTP console with a typed NVMe-MI client API. */
+class MgmtConsole : public sim::SimObject
+{
+  public:
+    MgmtConsole(sim::Simulator &sim, std::string name, Eid eid = 0x08);
+
+    MctpEndpoint &endpoint() { return *_endpoint; }
+
+    /** @name Typed management operations (async). */
+    /// @{
+    void healthPoll(Eid ctrl,
+                    std::function<void(std::vector<SlotHealth>)> cb);
+
+    void createNamespace(Eid ctrl, std::uint8_t fn, std::uint64_t bytes,
+                         std::uint8_t policy, QosLimits qos,
+                         std::function<void(std::optional<std::uint32_t>)>
+                             cb);
+
+    void destroyNamespace(Eid ctrl, std::uint8_t fn, std::uint32_t nsid,
+                          std::function<void(bool)> cb);
+
+    void setQos(Eid ctrl, std::uint8_t fn, std::uint32_t nsid,
+                QosLimits qos, std::function<void(bool)> cb);
+
+    void ioStats(Eid ctrl, std::uint8_t fn,
+                 std::function<void(std::optional<MiIoStats>)> cb);
+
+    void firmwareUpgrade(Eid ctrl, std::uint8_t slot,
+                         std::uint32_t image_bytes,
+                         std::function<void(MiUpgradeResult)> cb);
+
+    void hotPlug(Eid ctrl, std::uint8_t slot,
+                 std::function<void(MiHotPlugResult)> cb);
+    /// @}
+
+    std::uint64_t requestsSent() const { return _requests; }
+
+  private:
+    using RawHandler = std::function<void(const MiMessage &)>;
+
+    void request(Eid ctrl, MiOpcode op, std::vector<std::uint8_t> payload,
+                 RawHandler handler);
+    void onMessage(Eid src, MctpMsgType type,
+                   std::vector<std::uint8_t> raw);
+
+    std::unique_ptr<MctpEndpoint> _endpoint;
+    std::unordered_map<std::uint16_t, RawHandler> _pending;
+    std::uint16_t _nextTag = 1;
+    std::uint64_t _requests = 0;
+};
+
+} // namespace bms::core
+
+#endif // BMS_CORE_MGMT_MGMT_CONSOLE_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * NVMe Management Interface (NVMe-MI) message layer carried over
+ * MCTP (paper §IV-D: "the NVMe MI protocol analyzer parses these
+ * commands and sends them to the corresponding modules in the
+ * BMS-Controller").
+ *
+ * We implement the standard health poll plus the BM-Store vendor
+ * command set the production deployment uses for namespace
+ * management, QoS, I/O statistics, firmware hot-upgrade and
+ * hot-plug.
+ */
+
+#ifndef BMS_CORE_MGMT_NVME_MI_HH
+#define BMS_CORE_MGMT_NVME_MI_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mgmt/wire.hh"
+#include "sim/types.hh"
+
+namespace bms::core {
+
+/** NVMe-MI opcodes (standard subset + BM-Store vendor range). */
+enum class MiOpcode : std::uint8_t
+{
+    HealthStatusPoll = 0x01,
+    VendorListNamespaces = 0xC0,
+    VendorCreateNamespace = 0xC1,
+    VendorDestroyNamespace = 0xC2,
+    VendorIoStats = 0xC3,
+    VendorFirmwareUpgrade = 0xC4,
+    VendorHotPlug = 0xC5,
+    VendorSetQos = 0xC6,
+};
+
+/** NVMe-MI response status. */
+enum class MiStatus : std::uint8_t
+{
+    Success = 0x00,
+    InvalidParameter = 0x04,
+    InternalError = 0x22,
+};
+
+/** Framed NVMe-MI message: [kind u8][opcode u8][tag u16][payload]. */
+struct MiMessage
+{
+    enum class Kind : std::uint8_t
+    {
+        Request = 0,
+        Response = 1,
+    };
+
+    Kind kind = Kind::Request;
+    MiOpcode opcode = MiOpcode::HealthStatusPoll;
+    MiStatus status = MiStatus::Success; // responses only
+    std::uint16_t tag = 0;
+    std::vector<std::uint8_t> payload;
+
+    std::vector<std::uint8_t>
+    serialize() const
+    {
+        wire::Writer w;
+        w.u8(static_cast<std::uint8_t>(kind));
+        w.u8(static_cast<std::uint8_t>(opcode));
+        w.u8(static_cast<std::uint8_t>(status));
+        w.u16(tag);
+        w.bytes(payload);
+        return w.take();
+    }
+
+    static bool
+    parse(const std::vector<std::uint8_t> &raw, MiMessage &out)
+    {
+        if (raw.size() < 5)
+            return false;
+        out.kind = static_cast<Kind>(raw[0]);
+        out.opcode = static_cast<MiOpcode>(raw[1]);
+        out.status = static_cast<MiStatus>(raw[2]);
+        out.tag = static_cast<std::uint16_t>(raw[3] |
+                                             (raw[4] << 8));
+        out.payload.assign(raw.begin() + 5, raw.end());
+        return true;
+    }
+};
+
+/** @name Typed results carried in MI payloads. */
+/// @{
+
+/** Health of one back-end SSD slot (HealthStatusPoll response). */
+struct SlotHealth
+{
+    std::uint8_t slot = 0;
+    bool present = false;
+    bool upgrading = false;
+    std::string firmwareRev;
+    std::uint64_t capacityBytes = 0;
+    std::uint32_t inflight = 0;
+
+    /** @name SMART telemetry (zero when the device exposes none). */
+    /// @{
+    std::uint16_t temperatureK = 0;
+    std::uint8_t percentageUsed = 0;
+    std::uint64_t powerOnHours = 0;
+    std::uint64_t mediaErrors = 0;
+    /// @}
+};
+
+/** Per-function I/O statistics (VendorIoStats response). */
+struct MiIoStats
+{
+    std::uint64_t readOps = 0;
+    std::uint64_t writeOps = 0;
+    double readIops = 0.0;
+    double writeIops = 0.0;
+    double readMbps = 0.0;
+    double writeMbps = 0.0;
+};
+
+/** Firmware upgrade outcome (VendorFirmwareUpgrade response). */
+struct MiUpgradeResult
+{
+    bool ok = false;
+    double storeMs = 0.0;
+    double firmwareMs = 0.0;
+    double reloadMs = 0.0;
+    double totalMs = 0.0;
+    double ioPauseMs = 0.0;
+};
+
+/** Hot-plug outcome (VendorHotPlug response). */
+struct MiHotPlugResult
+{
+    bool ok = false;
+    double ioPauseMs = 0.0;
+};
+/// @}
+
+} // namespace bms::core
+
+#endif // BMS_CORE_MGMT_NVME_MI_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Little-endian wire serialization helpers for MCTP / NVMe-MI
+ * payloads.
+ */
+
+#ifndef BMS_CORE_MGMT_WIRE_HH
+#define BMS_CORE_MGMT_WIRE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace bms::core::wire {
+
+/** Append-only little-endian writer. */
+class Writer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        _buf.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        for (int i = 0; i < 2; ++i)
+            _buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            _buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            _buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        u64(bits);
+    }
+
+    /** Length-prefixed (u16) string. */
+    void
+    str(const std::string &s)
+    {
+        u16(static_cast<std::uint16_t>(s.size()));
+        _buf.insert(_buf.end(), s.begin(), s.end());
+    }
+
+    void
+    bytes(const std::vector<std::uint8_t> &b)
+    {
+        _buf.insert(_buf.end(), b.begin(), b.end());
+    }
+
+    std::vector<std::uint8_t> take() { return std::move(_buf); }
+    const std::vector<std::uint8_t> &view() const { return _buf; }
+
+  private:
+    std::vector<std::uint8_t> _buf;
+};
+
+/** Bounds-checked little-endian reader. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<std::uint8_t> &buf) : _buf(buf) {}
+
+    bool ok() const { return _ok; }
+    std::size_t remaining() const { return _buf.size() - _pos; }
+
+    std::uint8_t
+    u8()
+    {
+        if (!ensure(1))
+            return 0;
+        return _buf[_pos++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        if (!ensure(2))
+            return 0;
+        std::uint16_t v = 0;
+        for (int i = 0; i < 2; ++i)
+            v |= static_cast<std::uint16_t>(_buf[_pos++]) << (8 * i);
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!ensure(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(_buf[_pos++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!ensure(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(_buf[_pos++]) << (8 * i);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, 8);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        std::uint16_t n = u16();
+        if (!ensure(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(_buf.data() + _pos),
+                      n);
+        _pos += n;
+        return s;
+    }
+
+  private:
+    bool
+    ensure(std::size_t n)
+    {
+        if (_pos + n > _buf.size()) {
+            _ok = false;
+            return false;
+        }
+        return true;
+    }
+
+    const std::vector<std::uint8_t> &_buf;
+    std::size_t _pos = 0;
+    bool _ok = true;
+};
+
+} // namespace bms::core::wire
+
+#endif // BMS_CORE_MGMT_WIRE_HH

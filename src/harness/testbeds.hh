@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Testbed builders — wire complete systems matching the paper's
+ * experimental setups so benches and examples stay short:
+ *
+ *   - NativeTestbed: host + N directly-attached P4510s (baseline)
+ *   - BmStoreTestbed: host + BM-Store card + N back-end P4510s +
+ *     BMS-Controller + out-of-band console
+ *   - VM helpers: VFIO / BM-Store VF / SPDK vhost tenants
+ */
+
+#ifndef BMS_HARNESS_TESTBEDS_HH
+#define BMS_HARNESS_TESTBEDS_HH
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/spdk_vhost.hh"
+#include "core/ctrl/bms_controller.hh"
+#include "core/engine/bms_engine.hh"
+#include "core/mgmt/mgmt_console.hh"
+#include "host/host_system.hh"
+#include "host/nvme_driver.hh"
+#include "ssd/ssd_device.hh"
+#include "virt/vm.hh"
+#include "virt/virtio_blk.hh"
+
+namespace bms::harness {
+
+/** Common knobs for every testbed. */
+struct TestbedConfig
+{
+    int ssdCount = 1;
+    std::uint64_t seed = 1;
+    host::HostConfig host;
+    ssd::SsdDevice::Config ssd;
+    core::EngineConfig engine;
+    /** Driver shape used by attach helpers. */
+    std::uint16_t ioQueues = 4;
+    std::uint16_t queueDepth = 1024;
+    /**
+     * NativeTestbed: bind a host kernel driver to each disk. Set
+     * false for VFIO experiments — passthrough requires the device
+     * to be unbound from the host driver, exactly as on real
+     * systems.
+     */
+    bool attachHostDrivers = true;
+};
+
+/** Base: owns the simulated world and the host. */
+class TestbedBase
+{
+  public:
+    explicit TestbedBase(const TestbedConfig &cfg);
+    virtual ~TestbedBase() = default;
+
+    sim::Simulator &sim() { return *_sim; }
+    host::HostSystem &host() { return *_host; }
+    const TestbedConfig &config() const { return _cfg; }
+
+    /**
+     * Run the simulation until @p pred is true, in @p step slices;
+     * asserts if @p timeout elapses first (bring-up watchdog).
+     */
+    void runUntilTrue(const std::function<bool()> &pred,
+                      sim::Tick timeout = sim::seconds(2),
+                      sim::Tick step = sim::milliseconds(1));
+
+  protected:
+    TestbedConfig _cfg;
+    std::unique_ptr<sim::Simulator> _sim;
+    host::HostSystem *_host = nullptr;
+};
+
+/** Host + directly attached SSDs, stock kernel driver per disk. */
+class NativeTestbed : public TestbedBase
+{
+  public:
+    explicit NativeTestbed(const TestbedConfig &cfg);
+
+    ssd::SsdDevice &ssd(int i) { return *_ssds.at(i); }
+    host::NvmeDriver &driver(int i) { return *_drivers.at(i); }
+    int ssdCount() const { return static_cast<int>(_ssds.size()); }
+
+    /**
+     * Attach a VFIO guest to disk @p i: a fresh VM whose stock NVMe
+     * driver owns the whole device (no sharing — the VFIO tradeoff).
+     */
+    struct VfioVm
+    {
+        virt::VirtualMachine *vm = nullptr;
+        host::NvmeDriver *driver = nullptr;
+    };
+    VfioVm addVfioVm(int disk, virt::VmConfig vm_cfg = virt::VmConfig());
+
+  private:
+    std::vector<ssd::SsdDevice *> _ssds;
+    std::vector<host::NvmeDriver *> _drivers;
+    std::vector<pcie::RootPort *> _ports;
+    int _vmIndex = 0;
+};
+
+/** Host + BM-Store card + back-end SSDs + control plane. */
+class BmStoreTestbed : public TestbedBase
+{
+  public:
+    explicit BmStoreTestbed(const TestbedConfig &cfg);
+
+    core::BmsEngine &engine() { return *_engine; }
+    core::BmsController &controller() { return *_controller; }
+    core::MgmtConsole &console() { return *_console; }
+    core::MctpChannel &mctp() { return *_channel; }
+    ssd::SsdDevice &ssd(int i) { return *_ssds.at(i); }
+    pcie::RootPort &engineSlot() { return *_engineSlot; }
+    int ssdCount() const { return static_cast<int>(_ssds.size()); }
+
+    /**
+     * Create a namespace of @p bytes bound to function @p fn (via the
+     * BMS-Controller namespace manager) and bring up a stock NVMe
+     * driver on that function. Bare-metal tenants pass no VM; VM
+     * tenants get guest vCPU accounting.
+     */
+    host::NvmeDriver &attachTenant(
+        pcie::FunctionId fn, std::uint64_t bytes,
+        core::NamespaceManager::Policy policy =
+            core::NamespaceManager::Policy::RoundRobin,
+        core::QosLimits qos = core::QosLimits(),
+        virt::VirtualMachine *vm = nullptr, int pin_slot = -1);
+
+    /** Create a VM and attach it to the next free VF. */
+    struct BmsVm
+    {
+        virt::VirtualMachine *vm = nullptr;
+        host::NvmeDriver *driver = nullptr;
+        pcie::FunctionId fn = 0;
+    };
+    BmsVm addVm(std::uint64_t ns_bytes,
+                core::QosLimits qos = core::QosLimits(),
+                virt::VmConfig vm_cfg = virt::VmConfig());
+
+    /** Provide fresh spare disks for remote hot-plug commands. */
+    void enableSpareDisks();
+
+  private:
+    core::BmsEngine *_engine = nullptr;
+    core::BmsController *_controller = nullptr;
+    core::MgmtConsole *_console = nullptr;
+    core::MctpChannel *_channel = nullptr;
+    pcie::RootPort *_engineSlot = nullptr;
+    std::vector<ssd::SsdDevice *> _ssds;
+    pcie::FunctionId _nextVf;
+    int _spareCount = 0;
+};
+
+/** Host + SSDs + SPDK vhost target serving virtio-blk VMs. */
+class VhostTestbed : public TestbedBase
+{
+  public:
+    VhostTestbed(const TestbedConfig &cfg,
+                 baselines::SpdkVhostConfig vhost_cfg);
+
+    baselines::SpdkVhostTarget &target() { return *_target; }
+    ssd::SsdDevice &ssd(int i) { return *_ssds.at(i); }
+    host::NvmeDriver &backendDriver(int i) { return *_backends.at(i); }
+    int ssdCount() const { return static_cast<int>(_ssds.size()); }
+
+    /** A virtio-blk VM carved out of disk @p disk. */
+    struct VhostVm
+    {
+        virt::VirtualMachine *vm = nullptr;
+        virt::VirtioBlkDevice *blk = nullptr;
+    };
+    VhostVm addVm(int disk, std::uint64_t offset, std::uint64_t length,
+                  virt::VmConfig vm_cfg = virt::VmConfig());
+
+    /** Start the vhost reactors (after all VMs are added). */
+    void start() { _target->start(); }
+
+  private:
+    baselines::SpdkVhostTarget *_target = nullptr;
+    std::vector<ssd::SsdDevice *> _ssds;
+    std::vector<host::NvmeDriver *> _backends;
+    std::vector<std::unique_ptr<host::OffsetBlockDevice>> _views;
+    int _vmIndex = 0;
+};
+
+} // namespace bms::harness
+
+#endif // BMS_HARNESS_TESTBEDS_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Block-device abstraction used by workloads and application models.
+ * Implemented by the kernel NVMe driver model (native / VFIO / BM-Store
+ * VF paths) and by the virtio-blk front end (SPDK vhost path).
+ */
+
+#ifndef BMS_HOST_BLOCK_HH
+#define BMS_HOST_BLOCK_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace bms::host {
+
+/** One asynchronous block I/O. */
+struct BlockRequest
+{
+    enum class Op
+    {
+        Read,
+        Write,
+        Flush,
+    };
+
+    Op op = Op::Read;
+    std::uint64_t offset = 0; ///< byte offset into the device
+    std::uint32_t len = 0;    ///< bytes (0 allowed for Flush)
+    /** Host buffer address; 0 = use a driver-managed slot buffer
+     *  (synthetic workloads that don't care about data). */
+    std::uint64_t dataAddr = 0;
+    /** Affinity hint (fio job index / application thread). */
+    int queueHint = -1;
+    /** Completion callback; @p ok is false on device error. */
+    std::function<void(bool ok)> done;
+};
+
+/** Asynchronous block device. */
+class BlockDeviceIf
+{
+  public:
+    virtual ~BlockDeviceIf() = default;
+
+    /** Submit an asynchronous request. */
+    virtual void submit(BlockRequest req) = 0;
+
+    /** Usable capacity in bytes (valid after driver init). */
+    virtual std::uint64_t capacityBytes() const = 0;
+};
+
+/**
+ * A contiguous window of another block device (an lvol-style
+ * partition — e.g. the per-VM carve-outs a vhost target exports when
+ * several guests share one raw SSD).
+ */
+class OffsetBlockDevice : public BlockDeviceIf
+{
+  public:
+    OffsetBlockDevice(BlockDeviceIf &base, std::uint64_t offset,
+                      std::uint64_t length)
+        : _base(base), _offset(offset), _length(length)
+    {}
+
+    void
+    submit(BlockRequest req) override
+    {
+        if (req.offset + req.len > _length) {
+            if (req.done)
+                req.done(false);
+            return;
+        }
+        req.offset += _offset;
+        _base.submit(std::move(req));
+    }
+
+    std::uint64_t capacityBytes() const override { return _length; }
+
+  private:
+    BlockDeviceIf &_base;
+    std::uint64_t _offset;
+    std::uint64_t _length;
+};
+
+} // namespace bms::host
+
+#endif // BMS_HOST_BLOCK_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Host DRAM: sparse functional storage plus a bump allocator for
+ * driver/application buffers (queue rings, PRP lists, data buffers).
+ */
+
+#ifndef BMS_HOST_HOST_MEMORY_HH
+#define BMS_HOST_HOST_MEMORY_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "pcie/types.hh"
+#include "sim/sparse_memory.hh"
+
+namespace bms::host {
+
+/** Physical memory of one host. */
+class HostMemory : public pcie::MemoryIf
+{
+  public:
+    /** Allocations start above the (modeled) kernel image. */
+    static constexpr std::uint64_t kAllocBase = 0x0100'0000;
+
+    void
+    read(std::uint64_t addr, std::uint32_t len, std::uint8_t *out) override
+    {
+        _mem.read(addr, len, out);
+    }
+
+    void
+    write(std::uint64_t addr, std::uint32_t len,
+          const std::uint8_t *data) override
+    {
+        _mem.write(addr, len, data);
+    }
+
+    /**
+     * Allocate @p len bytes aligned to @p align (power of two).
+     * Allocations are never freed — testbeds are torn down whole.
+     */
+    std::uint64_t
+    alloc(std::uint64_t len, std::uint64_t align = 4096)
+    {
+        assert(align && (align & (align - 1)) == 0);
+        _next = (_next + align - 1) & ~(align - 1);
+        std::uint64_t addr = _next;
+        _next += len;
+        assert(_next < (1ull << 48) && "48-bit host address space");
+        return addr;
+    }
+
+    sim::SparseMemory &raw() { return _mem; }
+
+  private:
+    sim::SparseMemory _mem;
+    std::uint64_t _next = kAllocBase;
+};
+
+} // namespace bms::host
+
+#endif // BMS_HOST_HOST_MEMORY_HH

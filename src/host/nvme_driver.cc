@@ -1,0 +1,308 @@
+#include "host/nvme_driver.hh"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+#include "nvme/prp.hh"
+
+namespace bms::host {
+
+using nvme::AdminOpcode;
+using nvme::Cqe;
+using nvme::IoOpcode;
+using nvme::Sqe;
+
+NvmeDriver::NvmeDriver(sim::Simulator &sim, std::string name,
+                       HostMemory &memory, InterruptController &irq,
+                       pcie::RootPort &port, CpuSet &cpus,
+                       pcie::FunctionId fn, Config cfg)
+    : SimObject(sim, std::move(name)),
+      _mem(memory),
+      _irq(irq),
+      _port(port),
+      _cpus(cpus),
+      _fn(fn),
+      _cfg(cfg)
+{
+    assert(_cfg.ioQueues >= 1);
+    assert(_cfg.queueDepth >= 2);
+}
+
+void
+NvmeDriver::init(std::function<void()> ready)
+{
+    setupAdminQueues();
+
+    // Identify namespace → capacity; then create the IO queues.
+    Sqe id;
+    id.opcode = static_cast<std::uint8_t>(AdminOpcode::Identify);
+    id.nsid = _cfg.nsid;
+    id.cdw10 = static_cast<std::uint32_t>(nvme::IdentifyCns::Namespace);
+    id.prp1 = _adminDataPage;
+    adminCommand(id, [this, ready = std::move(ready)](const Cqe &cqe) {
+        assert(cqe.ok() && "identify namespace failed");
+        std::uint8_t raw[8];
+        _mem.read(_adminDataPage, 8, raw);
+        std::uint64_t nsze;
+        std::memcpy(&nsze, raw, 8);
+        _capacity = nsze * nvme::kBlockSize;
+
+        // Create queues 1..N, chained.
+        auto chain = std::make_shared<std::function<void(std::uint16_t)>>();
+        *chain = [this, chain, ready](std::uint16_t qid) {
+            if (qid > _cfg.ioQueues) {
+                _ready = true;
+                logInfo("ready: ", _cfg.ioQueues, " IO queues, capacity ",
+                        _capacity / sim::kGiB, " GiB");
+                ready();
+                return;
+            }
+            createIoQueue(qid, [chain, qid] { (*chain)(qid + 1); });
+        };
+        (*chain)(1);
+    });
+}
+
+void
+NvmeDriver::setupAdminQueues()
+{
+    _adminSqBase = _mem.alloc(_adminDepth * sizeof(Sqe));
+    _adminCqBase = _mem.alloc(_adminDepth * sizeof(Cqe));
+    _adminDataPage = _mem.alloc(nvme::kPageSize);
+
+    _irq.registerHandler(_port.irqDomain(), _fn, 0,
+                         [this] { adminIrq(); }, _cfg.profile.irqDelivery);
+
+    std::uint64_t aqa = (static_cast<std::uint64_t>(_adminDepth - 1) << 16) |
+                        (_adminDepth - 1);
+    _port.hostMmioWrite(_fn, nvme::kRegAqa, aqa);
+    _port.hostMmioWrite(_fn, nvme::kRegAsq, _adminSqBase);
+    _port.hostMmioWrite(_fn, nvme::kRegAcq, _adminCqBase);
+    _port.hostMmioWrite(_fn, nvme::kRegCc, nvme::kCcEnable);
+}
+
+void
+NvmeDriver::adminCommand(Sqe sqe, std::function<void(const Cqe &)> done)
+{
+    std::uint16_t cid = _adminNextCid++;
+    sqe.cid = cid;
+    _adminPending[cid] = std::move(done);
+
+    std::uint8_t raw[sizeof(Sqe)];
+    nvme::toBytes(sqe, raw);
+    _mem.write(_adminSqBase + static_cast<std::uint64_t>(_adminSqTail) *
+                                  sizeof(Sqe),
+               sizeof(Sqe), raw);
+    _adminSqTail = static_cast<std::uint16_t>((_adminSqTail + 1) %
+                                              _adminDepth);
+    _port.hostMmioWrite(_fn, nvme::sqDoorbellOffset(0), _adminSqTail);
+}
+
+void
+NvmeDriver::adminIrq()
+{
+    for (;;) {
+        std::uint8_t raw[sizeof(Cqe)];
+        _mem.read(_adminCqBase + static_cast<std::uint64_t>(_adminCqHead) *
+                                     sizeof(Cqe),
+                  sizeof(Cqe), raw);
+        Cqe cqe = nvme::fromBytes<Cqe>(raw);
+        if (cqe.phase() != _adminPhase)
+            break;
+        _adminCqHead = static_cast<std::uint16_t>((_adminCqHead + 1) %
+                                                  _adminDepth);
+        if (_adminCqHead == 0)
+            _adminPhase = !_adminPhase;
+        auto it = _adminPending.find(cqe.cid);
+        if (it != _adminPending.end()) {
+            auto cb = std::move(it->second);
+            _adminPending.erase(it);
+            cb(cqe);
+        }
+    }
+    _port.hostMmioWrite(_fn, nvme::cqDoorbellOffset(0), _adminCqHead);
+}
+
+void
+NvmeDriver::createIoQueue(std::uint16_t qid, std::function<void()> then)
+{
+    if (_queues.empty())
+        _queues.resize(_cfg.ioQueues + 1u);
+    Queue &q = _queues[qid];
+    q.qid = qid;
+    q.depth = _cfg.queueDepth;
+    q.sqBase = _mem.alloc(static_cast<std::uint64_t>(q.depth) * sizeof(Sqe));
+    q.cqBase = _mem.alloc(static_cast<std::uint64_t>(q.depth) * sizeof(Cqe));
+    q.slots.resize(q.depth);
+    for (std::uint16_t cid = 0; cid < q.depth; ++cid) {
+        // Preallocate a PRP-list page and a data slot per cid.
+        q.slots[cid].prpListAddr = _mem.alloc(nvme::kPageSize);
+        q.slots[cid].dataAddr = _mem.alloc(_cfg.maxIoBytes);
+        q.freeCids.push_back(static_cast<std::uint16_t>(q.depth - 1 - cid));
+    }
+
+    _irq.registerHandler(_port.irqDomain(), _fn, qid,
+                         [this, qid] { ioIrq(qid); },
+                         _cfg.profile.irqDelivery);
+
+    Sqe ccq;
+    ccq.opcode = static_cast<std::uint8_t>(AdminOpcode::CreateIoCq);
+    ccq.prp1 = q.cqBase;
+    ccq.cdw10 = (static_cast<std::uint32_t>(q.depth - 1) << 16) | qid;
+    ccq.cdw11 = (static_cast<std::uint32_t>(qid) << 16) | 0x3; // IEN|PC
+    adminCommand(ccq, [this, qid, then = std::move(then)](const Cqe &c) {
+        assert(c.ok());
+        Queue &q = _queues[qid];
+        Sqe csq;
+        csq.opcode = static_cast<std::uint8_t>(AdminOpcode::CreateIoSq);
+        csq.prp1 = q.sqBase;
+        csq.cdw10 = (static_cast<std::uint32_t>(q.depth - 1) << 16) | qid;
+        csq.cdw11 = (static_cast<std::uint32_t>(qid) << 16) | 0x1; // PC
+        adminCommand(csq, [then](const Cqe &c2) {
+            assert(c2.ok());
+            (void)c2;
+            then();
+        });
+    });
+}
+
+void
+NvmeDriver::submit(BlockRequest req)
+{
+    assert(_ready && "submit before init completed");
+    assert(req.len <= _cfg.maxIoBytes);
+    int idx = req.queueHint >= 0 ? req.queueHint % _cfg.ioQueues
+                                 : (_rrQueue++ % _cfg.ioQueues);
+    Queue &q = _queues[static_cast<std::size_t>(idx) + 1];
+    if (q.freeCids.empty()) {
+        q.waitq.push_back(std::move(req));
+        return;
+    }
+    pushToQueue(q, std::move(req));
+}
+
+void
+NvmeDriver::pushToQueue(Queue &q, BlockRequest req)
+{
+    std::uint16_t cid = q.freeCids.back();
+    q.freeCids.pop_back();
+    Slot &slot = q.slots[cid];
+    assert(!slot.busy);
+    slot.busy = true;
+    slot.req = std::move(req);
+    ++q.inflight;
+
+    Sqe sqe;
+    sqe.cid = cid;
+    sqe.nsid = _cfg.nsid;
+    switch (slot.req.op) {
+      case BlockRequest::Op::Read:
+        sqe.opcode = static_cast<std::uint8_t>(IoOpcode::Read);
+        break;
+      case BlockRequest::Op::Write:
+        sqe.opcode = static_cast<std::uint8_t>(IoOpcode::Write);
+        break;
+      case BlockRequest::Op::Flush:
+        sqe.opcode = static_cast<std::uint8_t>(IoOpcode::Flush);
+        break;
+    }
+    if (slot.req.op != BlockRequest::Op::Flush) {
+        assert(slot.req.len % nvme::kBlockSize == 0 &&
+               slot.req.offset % nvme::kBlockSize == 0);
+        sqe.setSlba(slot.req.offset / nvme::kBlockSize);
+        sqe.setNlb(slot.req.len / nvme::kBlockSize);
+        std::uint64_t data =
+            slot.req.dataAddr ? slot.req.dataAddr : slot.dataAddr;
+        nvme::PrpPair prp =
+            nvme::buildPrp(data, slot.req.len, slot.prpListAddr, _mem);
+        sqe.prp1 = prp.prp1;
+        sqe.prp2 = prp.prp2;
+    }
+
+    // Charge submission CPU; ring the doorbell after the critical-path
+    // part of the submit syscall. The submission may overlap deferred
+    // completion work up to the profile's slack.
+    CpuCore &core = _cpus.pick(q.qid - 1);
+    sim::Tick start = core.reserveWithSlack(
+        now(), _cfg.profile.submit.occupancy, _cfg.profile.deferSlack);
+    sim::Tick ring_at = start + _cfg.profile.submit.latency;
+    std::uint16_t qid = q.qid;
+    sim().scheduleAt(ring_at, [this, qid, sqe] {
+        ringDoorbell(_queues[qid], sqe);
+    });
+}
+
+void
+NvmeDriver::ringDoorbell(Queue &q, const nvme::Sqe &sqe)
+{
+    std::uint8_t raw[sizeof(Sqe)];
+    nvme::toBytes(sqe, raw);
+    _mem.write(q.sqBase + static_cast<std::uint64_t>(q.sqTail) * sizeof(Sqe),
+               sizeof(Sqe), raw);
+    q.sqTail = static_cast<std::uint16_t>((q.sqTail + 1) % q.depth);
+    _port.hostMmioWrite(_fn, nvme::sqDoorbellOffset(q.qid), q.sqTail);
+}
+
+void
+NvmeDriver::ioIrq(std::uint16_t qid)
+{
+    Queue &q = _queues[qid];
+    ++_interrupts;
+    CpuCore &core = _cpus.pick(qid - 1);
+    sim::Tick irq_start = core.reserve(now(), _cfg.profile.irq.occupancy);
+
+    bool any = false;
+    for (;;) {
+        std::uint8_t raw[sizeof(Cqe)];
+        _mem.read(q.cqBase + static_cast<std::uint64_t>(q.cqHead) *
+                                 sizeof(Cqe),
+                  sizeof(Cqe), raw);
+        Cqe cqe = nvme::fromBytes<Cqe>(raw);
+        if (cqe.phase() != q.cqPhase)
+            break;
+        q.cqHead = static_cast<std::uint16_t>((q.cqHead + 1) % q.depth);
+        if (q.cqHead == 0)
+            q.cqPhase = !q.cqPhase;
+        any = true;
+        finishRequest(q, cqe, irq_start);
+    }
+    if (any)
+        _port.hostMmioWrite(_fn, nvme::cqDoorbellOffset(qid), q.cqHead);
+}
+
+void
+NvmeDriver::finishRequest(Queue &q, const nvme::Cqe &cqe,
+                          sim::Tick irq_start)
+{
+    assert(cqe.cid < q.slots.size());
+    Slot &slot = q.slots[cqe.cid];
+    assert(slot.busy);
+    bool ok = cqe.ok();
+    auto done = std::move(slot.req.done);
+    slot.busy = false;
+    slot.req = BlockRequest{};
+    q.freeCids.push_back(cqe.cid);
+    --q.inflight;
+
+    // Per-CQE completion cost: the occupancy caps throughput, but the
+    // requester's callback runs after only the critical-path part —
+    // deferred completion work (io_getevents bookkeeping etc.)
+    // overlaps with the device.
+    CpuCore &core = _cpus.pick(q.qid - 1);
+    core.reserve(now(), _cfg.profile.completion.occupancy);
+    sim::Tick at = irq_start + _cfg.profile.irq.latency +
+                   _cfg.profile.completion.latency;
+    if (at < now())
+        at = now();
+    if (done)
+        sim().scheduleAt(at, [done = std::move(done), ok] { done(ok); });
+
+    if (!q.waitq.empty() && !q.freeCids.empty()) {
+        BlockRequest next = std::move(q.waitq.front());
+        q.waitq.pop_front();
+        pushToQueue(q, std::move(next));
+    }
+}
+
+} // namespace bms::host

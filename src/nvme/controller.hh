@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Reusable NVMe controller state machine (device side).
+ *
+ * Implements the register file (CC/CSTS/AQA/ASQ/ACQ + doorbells),
+ * admin/IO queue management, SQE fetching over DMA, and CQE posting
+ * with MSI-X — everything common between a back-end SSD controller
+ * and the 128 virtual NVMe controllers the BMS-Engine's SR-IOV layer
+ * exposes to the host. Subclasses implement command execution.
+ */
+
+#ifndef BMS_NVME_CONTROLLER_HH
+#define BMS_NVME_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nvme/defs.hh"
+#include "pcie/device.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace bms::nvme {
+
+/** Static description of one namespace as exposed by a controller. */
+struct NamespaceInfo
+{
+    std::uint32_t nsid = 0;
+    std::uint64_t sizeBlocks = 0;
+    std::uint32_t blockSize = kBlockSize;
+
+    std::uint64_t sizeBytes() const { return sizeBlocks * blockSize; }
+};
+
+/**
+ * NVMe controller base. Owns queue state; delegates execution of
+ * fetched commands to the subclass. All upstream traffic (SQE fetch,
+ * CQE post, MSI-X) is timed through the PcieUpstreamIf the owning
+ * device was attached with.
+ */
+class ControllerModel : public sim::SimObject
+{
+  public:
+    struct Config
+    {
+        pcie::FunctionId fn = 0;
+        std::uint16_t maxIoQueues = 64;
+        /** Internal latency from SQE arrival to execution start. */
+        sim::Tick cmdProcDelay = 0;
+        /** Serial/model identity reported by Identify Controller. */
+        std::string model = "BMS-SIM-CTRL";
+    };
+
+    ControllerModel(sim::Simulator &sim, std::string name, Config cfg);
+
+    /** Upstream services; must be set before the host enables CC. */
+    void setUpstream(pcie::PcieUpstreamIf *up) { _up = up; }
+    pcie::PcieUpstreamIf *upstream() const { return _up; }
+
+    pcie::FunctionId functionId() const { return _cfg.fn; }
+
+    /** @name Register file entry points (from the owning device). */
+    /// @{
+    void regWrite(std::uint64_t offset, std::uint64_t value);
+    std::uint64_t regRead(std::uint64_t offset) const;
+    /// @}
+
+    /** @name Namespace table (managed by owner / BMS-Controller). */
+    /// @{
+    void addNamespace(const NamespaceInfo &ns);
+    void removeNamespace(std::uint32_t nsid);
+    const NamespaceInfo *findNamespace(std::uint32_t nsid) const;
+    const std::vector<NamespaceInfo> &namespaces() const { return _nses; }
+    /// @}
+
+    bool enabled() const { return _enabled; }
+
+    /**
+     * Stop fetching new SQEs (doorbells still latch tails). Used for
+     * resets and by the hot-upgrade I/O-context store. Outstanding
+     * commands keep executing.
+     */
+    void pauseFetch();
+
+    /** Resume fetching; drains any tails that advanced while paused. */
+    void resumeFetch();
+
+    bool fetchPaused() const { return _fetchPaused; }
+
+    /** Commands fetched and not yet completed. */
+    std::uint32_t inflight() const { return _inflight; }
+
+    /** @name I/O accounting (read by the BMS I/O monitor). */
+    /// @{
+    std::uint64_t readOps() const { return _readOps; }
+    std::uint64_t writeOps() const { return _writeOps; }
+    std::uint64_t readBytes() const { return _readBytes; }
+    std::uint64_t writeBytes() const { return _writeBytes; }
+    /// @}
+
+    /**
+     * Post a completion for (sqid, cid). Public so the owning device
+     * model (which executes commands on the controller's behalf) can
+     * finish them.
+     */
+    void complete(std::uint16_t sqid, std::uint16_t cid, Status st,
+                  std::uint32_t dw0 = 0);
+
+    /**
+     * DMA @p len bytes of @p data into the host buffer described by a
+     * (page-aligned, single-page) PRP1 — used for Identify and log
+     * pages.
+     */
+    void dmaToHost(const Sqe &sqe, const std::uint8_t *data,
+                   std::uint32_t len, std::function<void()> done);
+
+  protected:
+    /**
+     * Execute an admin command the base class does not handle
+     * (queue management, identify, set/get features are built in).
+     * Must eventually call complete().
+     */
+    virtual void executeAdmin(const Sqe &sqe);
+
+    /** Execute an NVM I/O command; must eventually call complete(). */
+    virtual void executeIo(const Sqe &sqe, std::uint16_t sqid) = 0;
+
+    /** Hook invoked when the host enables / disables the controller. */
+    virtual void onEnabled() {}
+    virtual void onDisabled() {}
+
+  private:
+    struct SubQueue
+    {
+        bool valid = false;
+        std::uint64_t base = 0;
+        std::uint16_t size = 0;
+        std::uint16_t head = 0;
+        std::uint16_t tail = 0; ///< latest doorbell value
+        std::uint16_t cqid = 0;
+    };
+
+    struct ComplQueue
+    {
+        bool valid = false;
+        std::uint64_t base = 0;
+        std::uint16_t size = 0;
+        std::uint16_t tail = 0;
+        std::uint16_t headDoorbell = 0;
+        bool phase = true;
+        bool irqEnabled = false;
+        std::uint16_t vector = 0;
+    };
+
+    void enable();
+    void disable();
+    void doorbell(const DoorbellRef &ref, std::uint64_t value);
+    void pump(std::uint16_t sqid);
+    void dispatch(const Sqe &sqe, std::uint16_t sqid);
+    void adminBuiltin(const Sqe &sqe);
+    void identify(const Sqe &sqe);
+
+    Config _cfg;
+    pcie::PcieUpstreamIf *_up = nullptr;
+    bool _enabled = false;
+    bool _fetchPaused = false;
+    std::uint64_t _aqa = 0, _asq = 0, _acq = 0, _cc = 0;
+
+    std::vector<SubQueue> _sqs;
+    std::vector<ComplQueue> _cqs;
+    std::vector<NamespaceInfo> _nses;
+
+    std::uint32_t _inflight = 0;
+    std::uint64_t _readOps = 0, _writeOps = 0;
+    std::uint64_t _readBytes = 0, _writeBytes = 0;
+};
+
+} // namespace bms::nvme
+
+#endif // BMS_NVME_CONTROLLER_HH

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * NVMe protocol definitions: opcodes, status codes, register layout,
+ * and wire-format SQE/CQE structures.
+ *
+ * The structures are exact-size PODs (static_asserted) because queues
+ * live in simulated host memory as raw bytes and are moved by DMA,
+ * exactly as on real hardware. This is what makes the BMS-Engine's
+ * command rewriting (LBA field update, PRP rewriting) meaningful.
+ */
+
+#ifndef BMS_NVME_DEFS_HH
+#define BMS_NVME_DEFS_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace bms::nvme {
+
+/** Host / controller memory page size used for PRPs. */
+inline constexpr std::uint32_t kPageSize = 4096;
+
+/** Logical block size all namespaces use (P4510 formatted 4K). */
+inline constexpr std::uint32_t kBlockSize = 4096;
+
+/** @name I/O command opcodes (NVM command set). */
+/// @{
+enum class IoOpcode : std::uint8_t
+{
+    Flush = 0x00,
+    Write = 0x01,
+    Read = 0x02,
+};
+/// @}
+
+/** @name Admin command opcodes. */
+/// @{
+enum class AdminOpcode : std::uint8_t
+{
+    DeleteIoSq = 0x00,
+    CreateIoSq = 0x01,
+    GetLogPage = 0x02,
+    DeleteIoCq = 0x04,
+    CreateIoCq = 0x05,
+    Identify = 0x06,
+    SetFeatures = 0x09,
+    GetFeatures = 0x0A,
+    FirmwareCommit = 0x10,
+    FirmwareDownload = 0x11,
+    NamespaceMgmt = 0x0D,
+    NamespaceAttach = 0x15,
+};
+/// @}
+
+/** Generic command status (SCT 0). */
+enum class Status : std::uint16_t
+{
+    Success = 0x0,
+    InvalidOpcode = 0x1,
+    InvalidField = 0x2,
+    DataTransferError = 0x4,
+    AbortedByRequest = 0x7,
+    InvalidNamespace = 0xB,
+    LbaOutOfRange = 0x80,
+    CapacityExceeded = 0x81,
+    NamespaceNotReady = 0x82,
+};
+
+/** Identify CNS values we implement. */
+enum class IdentifyCns : std::uint8_t
+{
+    Namespace = 0x00,
+    Controller = 0x01,
+    ActiveNsList = 0x02,
+};
+
+/** @name Controller register offsets (BAR0). */
+/// @{
+inline constexpr std::uint64_t kRegCap = 0x00;
+inline constexpr std::uint64_t kRegCc = 0x14;
+inline constexpr std::uint64_t kRegCsts = 0x1C;
+inline constexpr std::uint64_t kRegAqa = 0x24;
+inline constexpr std::uint64_t kRegAsq = 0x28;
+inline constexpr std::uint64_t kRegAcq = 0x30;
+inline constexpr std::uint64_t kRegDoorbellBase = 0x1000;
+inline constexpr std::uint64_t kDoorbellStride = 4;
+/// @}
+
+/** CC.EN bit. */
+inline constexpr std::uint64_t kCcEnable = 0x1;
+/** CSTS.RDY bit. */
+inline constexpr std::uint64_t kCstsReady = 0x1;
+
+/** Doorbell decoding helper results. */
+struct DoorbellRef
+{
+    bool valid = false;
+    bool isSq = false;
+    std::uint16_t qid = 0;
+};
+
+/** Decode a BAR0 offset into an SQ-tail / CQ-head doorbell. */
+inline DoorbellRef
+decodeDoorbell(std::uint64_t offset)
+{
+    DoorbellRef ref;
+    if (offset < kRegDoorbellBase)
+        return ref;
+    std::uint64_t idx = (offset - kRegDoorbellBase) / kDoorbellStride;
+    ref.valid = true;
+    ref.isSq = (idx % 2) == 0;
+    ref.qid = static_cast<std::uint16_t>(idx / 2);
+    return ref;
+}
+
+/** BAR0 offset of the SQ tail doorbell for @p qid. */
+inline std::uint64_t
+sqDoorbellOffset(std::uint16_t qid)
+{
+    return kRegDoorbellBase + (2ull * qid) * kDoorbellStride;
+}
+
+/** BAR0 offset of the CQ head doorbell for @p qid. */
+inline std::uint64_t
+cqDoorbellOffset(std::uint16_t qid)
+{
+    return kRegDoorbellBase + (2ull * qid + 1) * kDoorbellStride;
+}
+
+/**
+ * Submission queue entry; 64-byte NVMe wire format.
+ *
+ * cdw10/cdw11 carry the starting LBA for NVM read/write; cdw12 bits
+ * [15:0] carry the 0-based number of logical blocks. The BMS-Engine
+ * rewrites slba (host LBA → physical LBA) and prp1/prp2 (host PRP →
+ * global PRP) in place before forwarding to a back-end SSD.
+ */
+struct Sqe
+{
+    std::uint8_t opcode = 0;
+    std::uint8_t flags = 0;
+    std::uint16_t cid = 0;
+    std::uint32_t nsid = 0;
+    std::uint64_t rsvd2 = 0;
+    std::uint64_t mptr = 0;
+    std::uint64_t prp1 = 0;
+    std::uint64_t prp2 = 0;
+    std::uint32_t cdw10 = 0;
+    std::uint32_t cdw11 = 0;
+    std::uint32_t cdw12 = 0;
+    std::uint32_t cdw13 = 0;
+    std::uint32_t cdw14 = 0;
+    std::uint32_t cdw15 = 0;
+
+    /** Starting LBA of an NVM read/write. */
+    std::uint64_t
+    slba() const
+    {
+        return (static_cast<std::uint64_t>(cdw11) << 32) | cdw10;
+    }
+
+    void
+    setSlba(std::uint64_t lba)
+    {
+        cdw10 = static_cast<std::uint32_t>(lba);
+        cdw11 = static_cast<std::uint32_t>(lba >> 32);
+    }
+
+    /** Number of logical blocks (1-based). */
+    std::uint32_t nlb() const { return (cdw12 & 0xffff) + 1; }
+
+    void
+    setNlb(std::uint32_t blocks)
+    {
+        cdw12 = (cdw12 & ~0xffffu) | ((blocks - 1) & 0xffff);
+    }
+
+    /** Transfer length in bytes for NVM read/write. */
+    std::uint64_t
+    dataBytes() const
+    {
+        return static_cast<std::uint64_t>(nlb()) * kBlockSize;
+    }
+};
+
+static_assert(sizeof(Sqe) == 64, "SQE must be 64 bytes");
+
+/** Completion queue entry; 16-byte NVMe wire format. */
+struct Cqe
+{
+    std::uint32_t dw0 = 0;
+    std::uint32_t rsvd = 0;
+    std::uint16_t sqHead = 0;
+    std::uint16_t sqId = 0;
+    std::uint16_t cid = 0;
+    std::uint16_t statusPhase = 0; ///< [15:1] status, [0] phase tag
+
+    Status
+    status() const
+    {
+        return static_cast<Status>((statusPhase >> 1) & 0xff);
+    }
+
+    bool phase() const { return statusPhase & 0x1; }
+
+    void
+    setStatusPhase(Status st, bool phase)
+    {
+        statusPhase = static_cast<std::uint16_t>(
+            (static_cast<std::uint16_t>(st) << 1) | (phase ? 1 : 0));
+    }
+
+    bool ok() const { return status() == Status::Success; }
+};
+
+static_assert(sizeof(Cqe) == 16, "CQE must be 16 bytes");
+
+/** Copy a POD to/from raw bytes (queues live in simulated memory). */
+template <typename T>
+inline void
+toBytes(const T &v, std::uint8_t *out)
+{
+    std::memcpy(out, &v, sizeof(T));
+}
+
+template <typename T>
+inline T
+fromBytes(const std::uint8_t *in)
+{
+    T v;
+    std::memcpy(&v, in, sizeof(T));
+    return v;
+}
+
+} // namespace bms::nvme
+
+#endif // BMS_NVME_DEFS_HH

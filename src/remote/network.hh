@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Datacenter network link model for the remote-storage extension
+ * (paper §VI-D future work: "we plan to add remote storage support").
+ *
+ * A full-duplex link with per-direction serialization (busy-until),
+ * propagation delay, and per-message framing overhead — the same
+ * modeling idiom as pcie::LinkChannel, at datacenter-fabric scale
+ * (25 GbE, ~10 us one-way through the ToR).
+ */
+
+#ifndef BMS_REMOTE_NETWORK_HH
+#define BMS_REMOTE_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.hh"
+
+namespace bms::remote {
+
+/** Link speed/latency profile. */
+struct NetworkProfile
+{
+    /** Effective per-direction bandwidth (25 GbE minus framing). */
+    sim::Bandwidth bandwidth = sim::Bandwidth::gbPerSec(2.9);
+    /** One-way propagation (NIC + ToR switch + NIC). */
+    sim::Tick propagation = sim::microseconds(10);
+    /** Fixed per-message overhead (headers, DMA doorbells). */
+    std::uint32_t perMessageBytes = 128;
+};
+
+/** Full-duplex point-to-point network link. */
+class NetworkLink : public sim::SimObject
+{
+  public:
+    NetworkLink(sim::Simulator &sim, std::string name,
+                NetworkProfile profile = NetworkProfile())
+        : SimObject(sim, std::move(name)), _profile(profile)
+    {}
+
+    /**
+     * Send @p payload_bytes in direction @p dir (0 = client→server,
+     * 1 = server→client); @p delivered fires at arrival.
+     */
+    void
+    send(int dir, std::uint64_t payload_bytes,
+         std::function<void()> delivered)
+    {
+        sim::Tick &busy = _busy[dir & 1];
+        sim::Tick start = now() > busy ? now() : busy;
+        busy = start + _profile.bandwidth.delayFor(
+                           payload_bytes + _profile.perMessageBytes);
+        sim::Tick arrive = busy + _profile.propagation;
+        _bytes[dir & 1] += payload_bytes;
+        sim().scheduleAt(arrive,
+                         [delivered = std::move(delivered)] {
+                             delivered();
+                         });
+    }
+
+    std::uint64_t bytesCarried(int dir) const { return _bytes[dir & 1]; }
+    const NetworkProfile &profile() const { return _profile; }
+
+  private:
+    NetworkProfile _profile;
+    sim::Tick _busy[2] = {0, 0};
+    std::uint64_t _bytes[2] = {0, 0};
+};
+
+} // namespace bms::remote
+
+#endif // BMS_REMOTE_NETWORK_HH

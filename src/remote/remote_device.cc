@@ -1,0 +1,120 @@
+#include "remote/remote_device.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace bms::remote {
+
+using nvme::IoOpcode;
+using nvme::Sqe;
+using nvme::Status;
+
+RemoteNvmeDevice::RemoteNvmeDevice(sim::Simulator &sim, std::string name,
+                                   NetworkLink &link,
+                                   StorageServer &server, int volume)
+    : SimObject(sim, name), _link(link), _server(server), _volume(volume)
+{
+    nvme::ControllerModel::Config cfg;
+    cfg.fn = 0;
+    cfg.model = "BMS-REMOTE-VOL";
+    _ctrl = std::make_unique<Controller>(sim, name + ".ctrl", cfg, *this);
+    nvme::NamespaceInfo ns;
+    ns.nsid = 1;
+    ns.sizeBlocks = server.volumeBytes(volume) / nvme::kBlockSize;
+    _ctrl->addNamespace(ns);
+}
+
+void
+RemoteNvmeDevice::mmioWrite(pcie::FunctionId fn, std::uint64_t offset,
+                            std::uint64_t value)
+{
+    assert(fn == 0);
+    (void)fn;
+    _ctrl->regWrite(offset, value);
+}
+
+std::uint64_t
+RemoteNvmeDevice::mmioRead(pcie::FunctionId fn, std::uint64_t offset)
+{
+    assert(fn == 0);
+    (void)fn;
+    return _ctrl->regRead(offset);
+}
+
+void
+RemoteNvmeDevice::attached(pcie::PcieUpstreamIf &upstream)
+{
+    _up = &upstream;
+    _ctrl->setUpstream(&upstream);
+}
+
+void
+RemoteNvmeDevice::finish(const Sqe &sqe, std::uint16_t sqid, bool ok)
+{
+    _ctrl->complete(sqid, sqe.cid,
+                    ok ? Status::Success : Status::DataTransferError);
+}
+
+void
+RemoteNvmeDevice::executeIo(const Sqe &sqe, std::uint16_t sqid)
+{
+    auto op = static_cast<IoOpcode>(sqe.opcode);
+    if (op != IoOpcode::Read && op != IoOpcode::Write &&
+        op != IoOpcode::Flush) {
+        _ctrl->complete(sqid, sqe.cid, Status::InvalidOpcode);
+        return;
+    }
+    ++_ios;
+    std::uint64_t len = op == IoOpcode::Flush ? 0 : sqe.dataBytes();
+    std::uint64_t offset = sqe.slba() * nvme::kBlockSize;
+
+    RemoteIo io;
+    io.isFlush = op == IoOpcode::Flush;
+    io.isWrite = op == IoOpcode::Write;
+    io.offset = offset;
+    io.len = static_cast<std::uint32_t>(len);
+
+    if (op == IoOpcode::Write) {
+        // Fetch the payload from upstream memory (host natively, or
+        // routed by the engine when behind BM-Store; timing-only —
+        // remote volumes do not carry functional bytes), then push
+        // command+data over the wire.
+        io.done = [this, sqe, sqid](bool ok) {
+            // Completion message back over the wire.
+            _link.send(1, pcie::kCqeBytes, [this, sqe, sqid, ok] {
+                finish(sqe, sqid, ok);
+            });
+        };
+        _up->dmaRead(sqe.prp1, static_cast<std::uint32_t>(len), nullptr,
+                     [this, len, io = std::move(io)]() mutable {
+                         _link.send(0, pcie::kSqeBytes + len,
+                                    [this, io = std::move(io)]() mutable {
+                                        _server.execute(_volume,
+                                                        std::move(io));
+                                    });
+                     });
+        return;
+    }
+
+    // Read / flush: command over the wire; data comes back with the
+    // response and is then DMA'd to the upstream buffers.
+    io.done = [this, sqe, sqid, len](bool ok) {
+        std::uint64_t resp = pcie::kCqeBytes + (ok ? len : 0);
+        _link.send(1, resp, [this, sqe, sqid, len, ok] {
+            if (!ok || len == 0) {
+                finish(sqe, sqid, ok);
+                return;
+            }
+            _up->dmaWrite(sqe.prp1, static_cast<std::uint32_t>(len),
+                          nullptr, [this, sqe, sqid] {
+                              finish(sqe, sqid, true);
+                          });
+        });
+    };
+    _link.send(0, pcie::kSqeBytes,
+               [this, io = std::move(io)]() mutable {
+                   _server.execute(_volume, std::move(io));
+               });
+}
+
+} // namespace bms::remote

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Remote NVMe device — the initiator side of the remote-storage
+ * extension. Exposes a standard NVMe controller (one function, one
+ * namespace = one exported volume) whose media is a StorageServer
+ * across a NetworkLink.
+ *
+ * Because it implements pcie::PcieDeviceIf and fetches its commands
+ * and data through whatever PcieUpstreamIf it is attached to, it can
+ * sit (a) in a host slot — a plain NVMe-oF-style initiator — or
+ * (b) in a BMS-Engine back-end slot, giving BM-Store tenants remote
+ * volumes behind the exact same front-end VFs, LBA mapping and QoS:
+ * the paper's §VI-D "add remote storage support to cope with more
+ * storage scenarios".
+ */
+
+#ifndef BMS_REMOTE_REMOTE_DEVICE_HH
+#define BMS_REMOTE_REMOTE_DEVICE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "nvme/controller.hh"
+#include "nvme/prp.hh"
+#include "pcie/device.hh"
+#include "remote/network.hh"
+#include "remote/storage_server.hh"
+#include "sim/simulator.hh"
+
+namespace bms::remote {
+
+/** NVMe front end for one remote volume. */
+class RemoteNvmeDevice : public sim::SimObject, public pcie::PcieDeviceIf
+{
+  public:
+    /**
+     * @param link network link to the server (direction 0 = toward
+     *        the server)
+     * @param server the storage target
+     * @param volume volume id previously created on the server
+     */
+    RemoteNvmeDevice(sim::Simulator &sim, std::string name,
+                     NetworkLink &link, StorageServer &server,
+                     int volume);
+
+    /** @name PcieDeviceIf */
+    /// @{
+    int functionCount() const override { return 1; }
+    void mmioWrite(pcie::FunctionId fn, std::uint64_t offset,
+                   std::uint64_t value) override;
+    std::uint64_t mmioRead(pcie::FunctionId fn,
+                           std::uint64_t offset) override;
+    void attached(pcie::PcieUpstreamIf &upstream) override;
+    /// @}
+
+    nvme::ControllerModel &controller() { return *_ctrl; }
+    std::uint64_t ios() const { return _ios; }
+
+  private:
+    class Controller : public nvme::ControllerModel
+    {
+      public:
+        Controller(sim::Simulator &sim, std::string name, Config cfg,
+                   RemoteNvmeDevice &owner)
+            : ControllerModel(sim, std::move(name), cfg), _owner(owner)
+        {}
+
+      protected:
+        void
+        executeIo(const nvme::Sqe &sqe, std::uint16_t sqid) override
+        {
+            _owner.executeIo(sqe, sqid);
+        }
+
+      private:
+        RemoteNvmeDevice &_owner;
+    };
+
+    friend class Controller;
+
+    void executeIo(const nvme::Sqe &sqe, std::uint16_t sqid);
+    void finish(const nvme::Sqe &sqe, std::uint16_t sqid, bool ok);
+
+    NetworkLink &_link;
+    StorageServer &_server;
+    int _volume;
+    std::unique_ptr<Controller> _ctrl;
+    pcie::PcieUpstreamIf *_up = nullptr;
+    std::uint64_t _ios = 0;
+};
+
+} // namespace bms::remote
+
+#endif // BMS_REMOTE_REMOTE_DEVICE_HH

@@ -1,0 +1,79 @@
+#include "remote/storage_server.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace bms::remote {
+
+StorageServer::StorageServer(sim::Simulator &sim, std::string name,
+                             Config cfg)
+    : SimObject(sim, name), _cfg(cfg)
+{
+    _host = sim.make<host::HostSystem>(sim, name + ".machine");
+    int ready = 0;
+    for (int i = 0; i < cfg.ssdCount; ++i) {
+        auto *disk = sim.make<ssd::SsdDevice>(
+            sim, name + ".ssd" + std::to_string(i), cfg.ssd);
+        pcie::RootPort &port = _host->addSlot(4);
+        port.attach(*disk);
+        host::NvmeDriver::Config dc;
+        dc.profile = baselines::spdkBackendProfile();
+        auto *drv = sim.make<host::NvmeDriver>(
+            sim, name + ".nvme" + std::to_string(i), _host->memory(),
+            _host->irq(), port, _host->cpus(), 0, dc);
+        drv->init([&ready] { ++ready; });
+        _ssds.push_back(disk);
+        _drivers.push_back(drv);
+    }
+    // Bring-up happens at t=0 before any workload; drive it inline.
+    sim::Tick deadline = sim.now() + sim::seconds(2);
+    while (ready != cfg.ssdCount) {
+        assert(sim.now() < deadline && "storage server bring-up stuck");
+        sim.runUntil(sim.now() + sim::milliseconds(1));
+    }
+    _ready = true;
+}
+
+int
+StorageServer::addVolume(Volume v)
+{
+    assert(v.disk >= 0 && v.disk < static_cast<int>(_drivers.size()));
+    assert(v.offset + v.length <=
+           _drivers[static_cast<std::size_t>(v.disk)]->capacityBytes());
+    _volumes.push_back(v);
+    return static_cast<int>(_volumes.size()) - 1;
+}
+
+std::uint64_t
+StorageServer::volumeBytes(int volume) const
+{
+    return _volumes.at(static_cast<std::size_t>(volume)).length;
+}
+
+void
+StorageServer::execute(int volume, RemoteIo io)
+{
+    assert(_ready);
+    const Volume &vol = _volumes.at(static_cast<std::size_t>(volume));
+    if (!io.isFlush && io.offset + io.len > vol.length) {
+        io.done(false);
+        return;
+    }
+    ++_served;
+    // Target-side software processing on the poll-mode core.
+    sim::Tick start = _targetCore.reserve(now(), _cfg.perIoCost);
+    sim().scheduleAt(start + _cfg.perIoCost, [this, vol,
+                                              io = std::move(io)]() mutable {
+        host::BlockRequest req;
+        req.op = io.isFlush ? host::BlockRequest::Op::Flush
+                            : (io.isWrite ? host::BlockRequest::Op::Write
+                                          : host::BlockRequest::Op::Read);
+        req.offset = vol.offset + io.offset;
+        req.len = io.len;
+        req.done = std::move(io.done);
+        _drivers[static_cast<std::size_t>(vol.disk)]->submit(
+            std::move(req));
+    });
+}
+
+} // namespace bms::remote

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Remote storage server — the target side of the remote-storage
+ * extension. A self-contained machine (its own memory, interrupt
+ * controller, CPU cores and PCIe slots) whose SSDs are exported as
+ * volumes. Requests arrive over a NetworkLink; a poll-mode target
+ * thread executes them against the local disks, exactly like an
+ * NVMe-over-Fabrics target.
+ */
+
+#ifndef BMS_REMOTE_STORAGE_SERVER_HH
+#define BMS_REMOTE_STORAGE_SERVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baselines/spdk_vhost.hh"
+#include "host/host_system.hh"
+#include "host/nvme_driver.hh"
+#include "sim/simulator.hh"
+#include "ssd/ssd_device.hh"
+
+namespace bms::remote {
+
+/** One I/O as it crosses the wire (already deserialized). */
+struct RemoteIo
+{
+    bool isWrite = false;
+    bool isFlush = false;
+    std::uint64_t offset = 0;
+    std::uint32_t len = 0;
+    /** Completion with success flag (runs on the server side). */
+    std::function<void(bool)> done;
+};
+
+/** The target machine. */
+class StorageServer : public sim::SimObject
+{
+  public:
+    struct Config
+    {
+        int ssdCount = 1;
+        ssd::SsdDevice::Config ssd;
+        /** Target-side software cost per I/O (poll-mode target). */
+        sim::Tick perIoCost = sim::microsecondsF(1.5);
+    };
+
+    StorageServer(sim::Simulator &sim, std::string name, Config cfg);
+
+    /** Export a volume: a byte window of one local disk. */
+    struct Volume
+    {
+        int disk = 0;
+        std::uint64_t offset = 0;
+        std::uint64_t length = 0;
+    };
+
+    int addVolume(Volume v);
+    std::uint64_t volumeBytes(int volume) const;
+
+    /**
+     * Execute @p io against volume @p volume (called when a request
+     * message has fully arrived).
+     */
+    void execute(int volume, RemoteIo io);
+
+    host::HostSystem &machine() { return *_host; }
+    std::uint64_t requestsServed() const { return _served; }
+
+  private:
+    Config _cfg;
+    host::HostSystem *_host = nullptr;
+    std::vector<ssd::SsdDevice *> _ssds;
+    std::vector<host::NvmeDriver *> _drivers;
+    std::vector<Volume> _volumes;
+    host::CpuCore _targetCore;
+    std::uint64_t _served = 0;
+    bool _ready = false;
+};
+
+} // namespace bms::remote
+
+#endif // BMS_REMOTE_STORAGE_SERVER_HH

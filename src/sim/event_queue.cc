@@ -1,0 +1,78 @@
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace bms::sim {
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    assert(when >= _now && "cannot schedule into the past");
+    assert(cb && "null event callback");
+    EventId id = _nextId++;
+    _heap.push(Entry{when, id, std::move(cb)});
+    ++_live;
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    if (id == kInvalidEventId)
+        return;
+    // Only mark ids that could still be pending; the set is pruned as
+    // cancelled entries surface at the heap top.
+    if (id < _nextId && _cancelled.insert(id).second && _live > 0)
+        --_live;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!_heap.empty()) {
+        // priority_queue::top() is const; move out via const_cast is
+        // safe because we pop immediately after.
+        Entry entry = std::move(const_cast<Entry &>(_heap.top()));
+        _heap.pop();
+        if (_cancelled.erase(entry.id))
+            continue;
+        assert(entry.when >= _now);
+        _now = entry.when;
+        --_live;
+        ++_executed;
+        entry.cb();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    for (;;) {
+        // Prune cancelled entries so the head check below sees the
+        // next *live* event; otherwise a cancelled early entry could
+        // let an event beyond @p limit execute.
+        while (!_heap.empty() && _cancelled.count(_heap.top().id)) {
+            _cancelled.erase(_heap.top().id);
+            _heap.pop();
+        }
+        if (_heap.empty() || _heap.top().when > limit)
+            break;
+        if (!runOne())
+            break;
+    }
+    if (_now < limit)
+        _now = limit;
+}
+
+Tick
+EventQueue::runAll()
+{
+    while (runOne()) {
+    }
+    return _now;
+}
+
+} // namespace bms::sim

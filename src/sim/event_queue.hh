@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events scheduled at the same tick execute in scheduling order
+ * (FIFO), which keeps every experiment bit-for-bit reproducible for a
+ * given seed. Cancellation is supported via lazily-deleted ids.
+ */
+
+#ifndef BMS_SIM_EVENT_QUEUE_HH
+#define BMS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bms::sim {
+
+/** Handle for a scheduled event, usable with EventQueue::cancel(). */
+using EventId = std::uint64_t;
+
+/** Id returned for events that were not actually scheduled. */
+inline constexpr EventId kInvalidEventId = 0;
+
+/**
+ * Priority queue of timed callbacks with deterministic same-tick
+ * ordering and O(log n) schedule/pop.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @pre when >= now()
+     * @return id usable with cancel().
+     */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    EventId
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        return schedule(_now + delay, std::move(cb));
+    }
+
+    /**
+     * Cancel a pending event. Cancelling an already-executed or
+     * unknown id is a harmless no-op.
+     */
+    void cancel(EventId id);
+
+    /** True if no runnable events remain. */
+    bool empty() const { return _live == 0; }
+
+    /** Number of runnable (not cancelled) pending events. */
+    std::size_t size() const { return _live; }
+
+    /**
+     * Pop and execute the next event.
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run events until simulated time would exceed @p limit. Events
+     * scheduled exactly at @p limit do run. Time advances to @p limit
+     * even if the queue drains earlier.
+     */
+    void runUntil(Tick limit);
+
+    /** Run until the queue is empty. @return final simulated time. */
+    Tick runAll();
+
+    /** Total number of events executed since construction. */
+    std::uint64_t executedCount() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id; // FIFO among same-tick events
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    std::unordered_set<EventId> _cancelled;
+    Tick _now = 0;
+    EventId _nextId = 1;
+    std::size_t _live = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace bms::sim
+
+#endif // BMS_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,18 @@
+#include "sim/log.hh"
+
+#include <cstdio>
+
+namespace bms::sim {
+
+LogLevel Log::_level = LogLevel::None;
+
+void
+Log::write(LogLevel lvl, Tick now, const std::string &who,
+           const std::string &msg)
+{
+    static const char *names[] = {"none", "warn", "info", "debug", "trace"};
+    std::fprintf(stderr, "[%12.3f us] %-5s %s: %s\n", toUs(now),
+                 names[static_cast<int>(lvl)], who.c_str(), msg.c_str());
+}
+
+} // namespace bms::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal leveled logging for simulation components.
+ *
+ * Off by default so benches stay quiet; tests and examples raise the
+ * level to trace command flow. Messages are prefixed with simulated
+ * time and component name.
+ */
+
+#ifndef BMS_SIM_LOG_HH
+#define BMS_SIM_LOG_HH
+
+#include <sstream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace bms::sim {
+
+enum class LogLevel
+{
+    None = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+};
+
+/** Process-wide log configuration. */
+class Log
+{
+  public:
+    static LogLevel level() { return _level; }
+    static void setLevel(LogLevel lvl) { _level = lvl; }
+    static bool enabled(LogLevel lvl) { return lvl <= _level; }
+
+    /** Emit one line: "[<time us>] <who>: <msg>". */
+    static void write(LogLevel lvl, Tick now, const std::string &who,
+                      const std::string &msg);
+
+  private:
+    static LogLevel _level;
+};
+
+namespace detail {
+
+inline void
+appendAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+appendAll(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    appendAll(os, rest...);
+}
+
+} // namespace detail
+
+/** Compose a message from stream-able parts and log it. */
+template <typename... Parts>
+void
+logAt(LogLevel lvl, Tick now, const std::string &who, const Parts &...parts)
+{
+    if (!Log::enabled(lvl))
+        return;
+    std::ostringstream os;
+    detail::appendAll(os, parts...);
+    Log::write(lvl, now, who, os.str());
+}
+
+} // namespace bms::sim
+
+#endif // BMS_SIM_LOG_HH

@@ -1,0 +1,57 @@
+#include "sim/random.hh"
+
+namespace bms::sim {
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : _n(n), _theta(theta)
+{
+    assert(n >= 1);
+    assert(theta > 0.0 && theta < 1.0);
+    _hIntegralX1 = hIntegral(1.5) - 1.0;
+    _hIntegralNumItems = hIntegral(static_cast<double>(n) + 0.5);
+    _s = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+}
+
+double
+ZipfianGenerator::h(double x) const
+{
+    return std::exp(-_theta * std::log(x));
+}
+
+double
+ZipfianGenerator::hIntegral(double x) const
+{
+    double log_x = std::log(x);
+    return x * std::exp(-_theta * log_x) / (1.0 - _theta);
+}
+
+double
+ZipfianGenerator::hIntegralInverse(double x) const
+{
+    double t = x * (1.0 - _theta);
+    if (t < -1.0)
+        t = -1.0; // guard against floating rounding
+    return std::exp(std::log(t) / (1.0 - _theta));
+}
+
+std::uint64_t
+ZipfianGenerator::next(Rng &rng) const
+{
+    if (_n == 1)
+        return 0;
+    for (;;) {
+        double u = _hIntegralNumItems +
+                   rng.uniform01() * (_hIntegralX1 - _hIntegralNumItems);
+        double x = hIntegralInverse(u);
+        auto k = static_cast<std::int64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        else if (static_cast<std::uint64_t>(k) > _n)
+            k = static_cast<std::int64_t>(_n);
+        double kd = static_cast<double>(k);
+        if (kd - x <= _s || u >= hIntegral(kd + 0.5) - h(kd))
+            return static_cast<std::uint64_t>(k) - 1;
+    }
+}
+
+} // namespace bms::sim

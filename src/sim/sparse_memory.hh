@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Sparse byte-addressable memory, allocated in 4 KiB pages on first
+ * write. Backs both simulated host DRAM and SSD flash contents, so
+ * end-to-end data-integrity tests can move real bytes while synthetic
+ * benchmarks skip allocation entirely (timing-only transfers pass
+ * null buffers and never touch this).
+ */
+
+#ifndef BMS_SIM_SPARSE_MEMORY_HH
+#define BMS_SIM_SPARSE_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+namespace bms::sim {
+
+/** Sparse memory; reads of never-written pages return zeroes. */
+class SparseMemory
+{
+  public:
+    static constexpr std::uint64_t kPageBytes = 4096;
+
+    void
+    read(std::uint64_t addr, std::uint64_t len, std::uint8_t *out) const
+    {
+        while (len > 0) {
+            std::uint64_t page = addr / kPageBytes;
+            std::uint64_t off = addr % kPageBytes;
+            std::uint64_t chunk = std::min(len, kPageBytes - off);
+            auto it = _pages.find(page);
+            if (it == _pages.end()) {
+                std::memset(out, 0, chunk);
+            } else {
+                std::memcpy(out, it->second->data() + off, chunk);
+            }
+            addr += chunk;
+            out += chunk;
+            len -= chunk;
+        }
+    }
+
+    void
+    write(std::uint64_t addr, std::uint64_t len, const std::uint8_t *data)
+    {
+        while (len > 0) {
+            std::uint64_t page = addr / kPageBytes;
+            std::uint64_t off = addr % kPageBytes;
+            std::uint64_t chunk = std::min(len, kPageBytes - off);
+            auto &slot = _pages[page];
+            if (!slot)
+                slot = std::make_unique<Page>();
+            std::memcpy(slot->data() + off, data, chunk);
+            addr += chunk;
+            data += chunk;
+            len -= chunk;
+        }
+    }
+
+    /** Drop all contents (e.g., a replaced hot-plug disk). */
+    void clear() { _pages.clear(); }
+
+    /**
+     * Drop whole pages inside [addr, addr+len) — subsequent reads
+     * return zeroes (TRIM / zone reset). Partial pages at the edges
+     * are zero-filled rather than dropped.
+     */
+    void
+    clearRange(std::uint64_t addr, std::uint64_t len)
+    {
+        while (len > 0) {
+            std::uint64_t page = addr / kPageBytes;
+            std::uint64_t off = addr % kPageBytes;
+            std::uint64_t chunk = std::min(len, kPageBytes - off);
+            auto it = _pages.find(page);
+            if (it != _pages.end()) {
+                if (chunk == kPageBytes) {
+                    _pages.erase(it);
+                } else {
+                    std::memset(it->second->data() + off, 0, chunk);
+                }
+            }
+            addr += chunk;
+            len -= chunk;
+        }
+    }
+
+    std::size_t allocatedPages() const { return _pages.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, kPageBytes>;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> _pages;
+};
+
+} // namespace bms::sim
+
+#endif // BMS_SIM_SPARSE_MEMORY_HH

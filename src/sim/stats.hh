@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Statistics primitives used across the BM-Store model.
+ *
+ * LatencyHistogram is HDR-style (log2 octaves with linear sub-buckets)
+ * so p99/p99.9 for Fig. 12 are accurate without storing raw samples.
+ */
+
+#ifndef BMS_SIM_STATS_HH
+#define BMS_SIM_STATS_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bms::sim {
+
+/** Running mean / min / max / stddev over double samples. */
+class SampleStats
+{
+  public:
+    void
+    add(double v)
+    {
+        ++_n;
+        double delta = v - _mean;
+        _mean += delta / static_cast<double>(_n);
+        _m2 += delta * (v - _mean);
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+        _sum += v;
+    }
+
+    std::uint64_t count() const { return _n; }
+    double sum() const { return _sum; }
+    double mean() const { return _n ? _mean : 0.0; }
+    double min() const { return _n ? _min : 0.0; }
+    double max() const { return _n ? _max : 0.0; }
+
+    double
+    variance() const
+    {
+        return _n > 1 ? _m2 / static_cast<double>(_n - 1) : 0.0;
+    }
+
+    void
+    reset()
+    {
+        *this = SampleStats{};
+    }
+
+  private:
+    std::uint64_t _n = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _sum = 0.0;
+    double _min = 1e300;
+    double _max = -1e300;
+};
+
+/**
+ * Fixed-memory latency histogram with ~3% relative error.
+ *
+ * Values are bucketed into 64 octaves x 32 linear sub-buckets.
+ * Quantiles interpolate within the winning sub-bucket.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr int kSubBits = 5;                  // 32 sub-buckets
+    static constexpr int kSub = 1 << kSubBits;
+    static constexpr int kOctaves = 64;
+
+    void add(Tick value);
+
+    std::uint64_t count() const { return _count; }
+    Tick min() const { return _count ? _min : 0; }
+    Tick max() const { return _count ? _max : 0; }
+
+    /** Arithmetic mean of recorded values. */
+    double mean() const;
+
+    /**
+     * Quantile @p q in [0, 1]; e.g. 0.99 for p99. Returns 0 when
+     * empty.
+     */
+    Tick quantile(double q) const;
+
+    Tick p50() const { return quantile(0.50); }
+    Tick p99() const { return quantile(0.99); }
+    Tick p999() const { return quantile(0.999); }
+
+    void reset();
+
+    /** Merge another histogram into this one. */
+    void merge(const LatencyHistogram &other);
+
+  private:
+    static int bucketIndex(Tick value);
+    static Tick bucketLow(int index);
+    static Tick bucketHigh(int index);
+
+    std::array<std::uint64_t, kOctaves * kSub> _buckets{};
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    Tick _min = kTickMax;
+    Tick _max = 0;
+};
+
+/**
+ * Counts events over simulated time to report rates (IOPS, MB/s).
+ * start() latches the window start; rate helpers divide by the
+ * elapsed window.
+ */
+class RateMeter
+{
+  public:
+    void
+    start(Tick now)
+    {
+        _start = now;
+        _ops = 0;
+        _bytes = 0;
+    }
+
+    void
+    record(std::uint64_t bytes)
+    {
+        ++_ops;
+        _bytes += bytes;
+    }
+
+    std::uint64_t ops() const { return _ops; }
+    std::uint64_t bytes() const { return _bytes; }
+
+    double
+    iops(Tick now) const
+    {
+        double secs = toSec(now - _start);
+        return secs > 0.0 ? static_cast<double>(_ops) / secs : 0.0;
+    }
+
+    double
+    mbPerSec(Tick now) const
+    {
+        double secs = toSec(now - _start);
+        return secs > 0.0 ? static_cast<double>(_bytes) / 1e6 / secs : 0.0;
+    }
+
+  private:
+    Tick _start = 0;
+    std::uint64_t _ops = 0;
+    std::uint64_t _bytes = 0;
+};
+
+/**
+ * Periodic time series of a rate (e.g., IOPS per 100 ms window) for
+ * the Fig. 15 hot-upgrade timeline.
+ */
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(Tick bucket_width = milliseconds(100))
+        : _width(bucket_width)
+    {}
+
+    void
+    record(Tick now, std::uint64_t weight = 1)
+    {
+        std::size_t idx = static_cast<std::size_t>(now / _width);
+        if (idx >= _counts.size())
+            _counts.resize(idx + 1, 0);
+        _counts[idx] += weight;
+    }
+
+    Tick bucketWidth() const { return _width; }
+    const std::vector<std::uint64_t> &counts() const { return _counts; }
+
+    /** Count of bucket @p i expressed as a per-second rate. */
+    double
+    rateAt(std::size_t i) const
+    {
+        if (i >= _counts.size())
+            return 0.0;
+        return static_cast<double>(_counts[i]) / toSec(_width);
+    }
+
+    std::size_t size() const { return _counts.size(); }
+
+  private:
+    Tick _width;
+    std::vector<std::uint64_t> _counts;
+};
+
+} // namespace bms::sim
+
+#endif // BMS_SIM_STATS_HH

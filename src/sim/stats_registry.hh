@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Named statistics registry (gem5-style stats dump).
+ *
+ * Components register named scalar providers at construction; at any
+ * point — typically the end of an experiment — the whole simulated
+ * world's counters can be dumped in one sorted listing. Providers are
+ * callbacks, so dumping always reflects live values and registration
+ * costs nothing on the hot path.
+ */
+
+#ifndef BMS_SIM_STATS_REGISTRY_HH
+#define BMS_SIM_STATS_REGISTRY_HH
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace bms::sim {
+
+/** Registry of named scalar statistics. */
+class StatsRegistry
+{
+  public:
+    using Provider = std::function<double()>;
+
+    /**
+     * Register @p provider under @p name (dotted component paths,
+     * e.g. "bms.qos.buffered"). Re-registering a name replaces the
+     * provider (components recreated under the same name win).
+     */
+    void
+    add(std::string name, Provider provider)
+    {
+        _providers[std::move(name)] = std::move(provider);
+    }
+
+    /** Current value of one statistic; 0 when unknown. */
+    double
+    value(const std::string &name) const
+    {
+        auto it = _providers.find(name);
+        return it == _providers.end() ? 0.0 : it->second();
+    }
+
+    bool has(const std::string &name) const
+    {
+        return _providers.count(name) != 0;
+    }
+
+    std::size_t size() const { return _providers.size(); }
+
+    /**
+     * Dump statistics sorted by name to @p out. With @p prefix set,
+     * only names starting with it are printed; zero-valued counters
+     * are skipped unless @p include_zero (a 128-function card
+     * registers stats for every VF; idle ones are noise).
+     */
+    void
+    dump(std::FILE *out = stdout, const std::string &prefix = "",
+         bool include_zero = false) const
+    {
+        std::fprintf(out, "---------- stats dump ----------\n");
+        for (const auto &[name, provider] : _providers) {
+            if (!prefix.empty() && name.rfind(prefix, 0) != 0)
+                continue;
+            double v = provider();
+            if (v == 0.0 && !include_zero)
+                continue;
+            if (v == static_cast<double>(static_cast<long long>(v))) {
+                std::fprintf(out, "%-48s %20lld\n", name.c_str(),
+                             static_cast<long long>(v));
+            } else {
+                std::fprintf(out, "%-48s %20.3f\n", name.c_str(), v);
+            }
+        }
+        std::fprintf(out, "--------------------------------\n");
+    }
+
+    /** Visit every (name, value) pair, sorted by name. */
+    void
+    visit(const std::function<void(const std::string &, double)> &fn) const
+    {
+        for (const auto &[name, provider] : _providers)
+            fn(name, provider());
+    }
+
+  private:
+    std::map<std::string, Provider> _providers;
+};
+
+} // namespace bms::sim
+
+#endif // BMS_SIM_STATS_REGISTRY_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, durations, byte quantities.
+ *
+ * The simulator measures time in integer nanoseconds (Tick). All
+ * component latencies in the BM-Store model are expressed in these
+ * units; helpers below keep call sites readable.
+ */
+
+#ifndef BMS_SIM_TYPES_HH
+#define BMS_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace bms::sim {
+
+/** Simulated time, in nanoseconds since simulation start. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "never" / unscheduled. */
+inline constexpr Tick kTickMax = ~Tick{0};
+
+/** @name Duration helpers (all return nanosecond ticks). */
+/// @{
+inline constexpr Tick nanoseconds(std::uint64_t n) { return n; }
+inline constexpr Tick microseconds(std::uint64_t n) { return n * 1000; }
+inline constexpr Tick milliseconds(std::uint64_t n) { return n * 1000'000; }
+inline constexpr Tick seconds(std::uint64_t n) { return n * 1000'000'000; }
+
+/** Fractional microseconds, rounded to the nearest nanosecond. */
+inline constexpr Tick
+microsecondsF(double us)
+{
+    return static_cast<Tick>(us * 1000.0 + 0.5);
+}
+/// @}
+
+/** @name Tick → floating-point conversions for reporting. */
+/// @{
+inline constexpr double toUs(Tick t) { return static_cast<double>(t) / 1e3; }
+inline constexpr double toMs(Tick t) { return static_cast<double>(t) / 1e6; }
+inline constexpr double toSec(Tick t) { return static_cast<double>(t) / 1e9; }
+/// @}
+
+/** @name Byte-quantity helpers. */
+/// @{
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+inline constexpr std::uint64_t kib(std::uint64_t n) { return n * kKiB; }
+inline constexpr std::uint64_t mib(std::uint64_t n) { return n * kMiB; }
+inline constexpr std::uint64_t gib(std::uint64_t n) { return n * kGiB; }
+/// @}
+
+/**
+ * Bandwidth expressed as bytes per second. Stored as double so
+ * per-byte serialization delays below 1 ns accumulate correctly.
+ */
+struct Bandwidth
+{
+    double bytesPerSec = 0.0;
+
+    /** Serialization delay for @p bytes at this rate, in ticks. */
+    constexpr Tick
+    delayFor(std::uint64_t bytes) const
+    {
+        if (bytesPerSec <= 0.0)
+            return 0;
+        return static_cast<Tick>(
+            static_cast<double>(bytes) * 1e9 / bytesPerSec + 0.5);
+    }
+
+    static constexpr Bandwidth
+    mbPerSec(double mb)
+    {
+        return Bandwidth{mb * 1e6};
+    }
+
+    static constexpr Bandwidth
+    gbPerSec(double gb)
+    {
+        return Bandwidth{gb * 1e9};
+    }
+};
+
+} // namespace bms::sim
+
+#endif // BMS_SIM_TYPES_HH

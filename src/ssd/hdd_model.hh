@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SATA HDD medium — the §VI-A compatibility extension.
+ *
+ * The paper argues BM-Store's programmability lets the host adaptor
+ * grow a SATA personality so spinning disks can serve as back-end
+ * devices ("SATA HDDs ... are vital in local storage"). This model
+ * provides the HDD side: a single actuator serving commands FIFO,
+ * with distance-dependent seeks, rotational latency, streaming
+ * transfer bandwidth, and sequential-access detection (no seek when
+ * the head is already there). The command-level interface is the
+ * shared StorageMediaIf, so the rest of the stack — engine, adaptor,
+ * drivers — is unchanged, exactly the paper's point.
+ */
+
+#ifndef BMS_SSD_HDD_MODEL_HH
+#define BMS_SSD_HDD_MODEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hh"
+#include "ssd/media_model.hh"
+
+namespace bms::ssd {
+
+/** 7200 rpm nearline SATA disk (Seagate Exos-class). */
+struct HddProfile
+{
+    std::string model = "ST2000NM-SATA";
+    std::uint64_t capacityBytes = 2000ull * 1000 * 1000 * 1000;
+
+    /** Single-track (minimum) and full-stroke seek times. */
+    sim::Tick seekMin = sim::microseconds(500);
+    sim::Tick seekMax = sim::milliseconds(8);
+    /** Spindle period (7200 rpm → 8.33 ms). */
+    sim::Tick rotationPeriod = sim::microseconds(8333);
+    /** Sustained media transfer rate. */
+    sim::Bandwidth mediaBw = sim::Bandwidth::mbPerSec(210);
+    /** On-board write cache acknowledges small writes quickly. */
+    sim::Tick writeCacheLatency = sim::microseconds(80);
+    std::uint64_t writeCacheBytes = sim::mib(128);
+
+    std::string firmwareRev = "SN05";
+};
+
+/** Single-actuator spinning-disk timing model. */
+class HddMediaModel : public sim::SimObject, public StorageMediaIf
+{
+  public:
+    HddMediaModel(sim::Simulator &sim, std::string name,
+                  const HddProfile &profile);
+
+    void read(std::uint64_t offset, std::uint64_t bytes,
+              std::function<void()> done) override;
+    void write(std::uint64_t offset, std::uint64_t bytes,
+               std::function<void()> done) override;
+    void flush(std::function<void()> done) override;
+
+    const HddProfile &profile() const { return _profile; }
+
+    /** Operations that needed a mechanical seek (diagnostics). */
+    std::uint64_t seeks() const { return _seeks; }
+    std::uint64_t sequentialHits() const { return _seqHits; }
+
+  private:
+    sim::Tick positionCost(std::uint64_t offset);
+    void access(std::uint64_t offset, std::uint64_t bytes, bool is_write,
+                std::function<void()> done);
+
+    HddProfile _profile;
+    sim::Tick _actuatorBusy = 0;
+    std::uint64_t _headPos = 0; ///< byte offset the head will be at
+    std::uint64_t _cacheFill = 0;
+    std::uint64_t _seeks = 0;
+    std::uint64_t _seqHits = 0;
+};
+
+} // namespace bms::ssd
+
+#endif // BMS_SSD_HDD_MODEL_HH

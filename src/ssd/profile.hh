@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SSD performance profiles.
+ *
+ * The P4510 profile is calibrated so the *native* single-disk numbers
+ * match Table V / Fig. 8 of the BM-Store paper (which themselves match
+ * the Intel P4510 2 TB datasheet envelope):
+ *
+ *   - 4K random read  qd1 : ~77 us end-to-end
+ *   - 4K random read qd512: ~650K IOPS (read-unit bound)
+ *   - seq read 128K qd1024: ~3.2 GB/s (internal channel bound)
+ *   - 4K random write qd1 : ~11.6 us (write cache)
+ *   - write throughput    : ~1.4 GB/s shared channel
+ */
+
+#ifndef BMS_SSD_PROFILE_HH
+#define BMS_SSD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace bms::ssd {
+
+/** Calibration constants for one SSD model. */
+struct SsdProfile
+{
+    std::string model = "GENERIC-NVME";
+    std::uint64_t capacityBytes = sim::gib(2048);
+
+    /** @name Read path. */
+    /// @{
+    /** Media latency of one read operation (NAND page read). */
+    sim::Tick readLatency = sim::microsecondsF(70.6);
+    /** Parallel read units (channels x planes the firmware exposes). */
+    int readUnits = 46;
+    /** Shared internal read data channel (NAND → controller). */
+    sim::Bandwidth readChannelBw = sim::Bandwidth::gbPerSec(3.3);
+    /// @}
+
+    /** @name Write path (write-back cache + bounded drain). */
+    /// @{
+    /** Cache-hit latency of one write acknowledgment. */
+    sim::Tick writeLatency = sim::microsecondsF(3.3);
+    /** Shared write channel (drain bandwidth; enforces back-pressure). */
+    sim::Bandwidth writeChannelBw = sim::Bandwidth::gbPerSec(1.46);
+    /// @}
+
+    /** Flush: wait for drain plus this fixed cost. */
+    sim::Tick flushLatency = sim::microseconds(50);
+
+    /** Relative jitter applied to media latencies (+/- fraction). */
+    double latencyJitter = 0.08;
+    /** Probability of a slow outlier read (media retry). */
+    double outlierProb = 0.0005;
+    /** Multiplier applied to readLatency for outliers. */
+    double outlierFactor = 4.0;
+
+    /** @name Firmware. */
+    /// @{
+    std::string firmwareRev = "VDV10131";
+    /** Min/max firmware activation stall (paper Table IX: 6-9 s total
+     *  with ~100 ms of BMS processing, remainder is the SSD). */
+    sim::Tick fwActivateMin = sim::milliseconds(5900);
+    sim::Tick fwActivateMax = sim::milliseconds(8800);
+    /// @}
+};
+
+/** Intel P4510 2 TB (the paper's back-end disk). */
+inline SsdProfile
+p4510_2tb()
+{
+    SsdProfile p;
+    p.model = "INTEL SSDPE2KX020T8";      // P4510 2.0 TB
+    p.capacityBytes = 2000ull * 1000 * 1000 * 1000;
+    return p;
+}
+
+} // namespace bms::ssd
+
+#endif // BMS_SSD_PROFILE_HH

@@ -1,0 +1,306 @@
+#include "ssd/ssd_device.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace bms::ssd {
+
+using nvme::AdminOpcode;
+using nvme::IoOpcode;
+using nvme::Sqe;
+using nvme::Status;
+
+SsdDevice::SsdDevice(sim::Simulator &sim, std::string name, Config cfg)
+    : SimObject(sim, name), _cfg(cfg), _fwRev(cfg.profile.firmwareRev)
+{
+    nvme::ControllerModel::Config ctrl_cfg;
+    ctrl_cfg.fn = 0;
+    std::uint64_t capacity;
+    if (_cfg.hddProfile) {
+        ctrl_cfg.model = _cfg.hddProfile->model;
+        _fwRev = _cfg.hddProfile->firmwareRev;
+        capacity = _cfg.hddProfile->capacityBytes;
+    } else {
+        ctrl_cfg.model = _cfg.profile.model;
+        capacity = _cfg.profile.capacityBytes;
+    }
+    _ctrl = std::make_unique<Controller>(sim, name + ".ctrl", ctrl_cfg,
+                                         *this);
+    if (_cfg.hddProfile) {
+        _media = std::make_unique<HddMediaModel>(sim, name + ".media",
+                                                 *_cfg.hddProfile);
+    } else {
+        _media = std::make_unique<MediaModel>(sim, name + ".media",
+                                              _cfg.profile);
+    }
+    nvme::NamespaceInfo ns;
+    ns.nsid = 1;
+    ns.sizeBlocks = capacity / nvme::kBlockSize;
+    _ctrl->addNamespace(ns);
+}
+
+void
+SsdDevice::mmioWrite(pcie::FunctionId fn, std::uint64_t offset,
+                     std::uint64_t value)
+{
+    assert(fn == 0);
+    (void)fn;
+    _ctrl->regWrite(offset, value);
+}
+
+std::uint64_t
+SsdDevice::mmioRead(pcie::FunctionId fn, std::uint64_t offset)
+{
+    assert(fn == 0);
+    (void)fn;
+    return _ctrl->regRead(offset);
+}
+
+void
+SsdDevice::attached(pcie::PcieUpstreamIf &upstream)
+{
+    _up = &upstream;
+    _ctrl->setUpstream(&upstream);
+}
+
+const std::string &
+SsdDevice::firmwareRev() const
+{
+    return _fwRev;
+}
+
+std::uint16_t
+SsdDevice::smartTemperatureK() const
+{
+    // 35 C idle floor; up to ~+35 C at full-interface load.
+    double bytes = static_cast<double>(_ctrl->readBytes() +
+                                       _ctrl->writeBytes());
+    double secs = sim::toSec(now());
+    double load = secs > 0.0 ? bytes / secs / 3.3e9 : 0.0; // 0..~1
+    if (load > 1.0)
+        load = 1.0;
+    return static_cast<std::uint16_t>(273 + 35 + load * 35.0);
+}
+
+std::uint8_t
+SsdDevice::smartPercentageUsed() const
+{
+    // Rated endurance for the P4510 2 TB class: ~2.6 PBW.
+    double rated = 2.6e15;
+    double used = static_cast<double>(_ctrl->writeBytes()) / rated * 100.0;
+    if (used > 255.0)
+        used = 255.0;
+    return static_cast<std::uint8_t>(used);
+}
+
+void
+SsdDevice::hardReset(bool wipe_data)
+{
+    _ctrl->regWrite(nvme::kRegCc, 0); // drop CC.EN → full disable
+    if (wipe_data)
+        _flash.clear();
+}
+
+bool
+SsdDevice::checkRange(const Sqe &sqe, std::uint16_t sqid)
+{
+    const nvme::NamespaceInfo *ns = _ctrl->findNamespace(sqe.nsid);
+    if (!ns) {
+        _ctrl->complete(sqid, sqe.cid, Status::InvalidNamespace);
+        return false;
+    }
+    if (sqe.slba() + sqe.nlb() > ns->sizeBlocks) {
+        _ctrl->complete(sqid, sqe.cid, Status::LbaOutOfRange);
+        return false;
+    }
+    return true;
+}
+
+void
+SsdDevice::executeIo(const Sqe &sqe, std::uint16_t sqid)
+{
+    switch (static_cast<IoOpcode>(sqe.opcode)) {
+      case IoOpcode::Read:
+        doRead(sqe, sqid);
+        return;
+      case IoOpcode::Write:
+        doWrite(sqe, sqid);
+        return;
+      case IoOpcode::Flush:
+        doFlush(sqe, sqid);
+        return;
+      default:
+        _ctrl->complete(sqid, sqe.cid, Status::InvalidOpcode);
+        return;
+    }
+}
+
+void
+SsdDevice::resolveSegments(
+    const Sqe &sqe, std::function<void(std::vector<nvme::DmaSegment>)> then)
+{
+    std::uint64_t len = sqe.dataBytes();
+    if (!nvme::needsPrpList(sqe.prp1, len)) {
+        then(nvme::decodePrp(sqe.prp1, sqe.prp2, len, {}));
+        return;
+    }
+    // Fetch the PRP list from upstream memory (host DRAM natively;
+    // BMS-Engine chip memory when behind BM-Store).
+    std::uint32_t entries = nvme::prpPageCount(sqe.prp1, len) - 1;
+    auto raw = std::make_shared<std::vector<std::uint64_t>>(entries);
+    _up->dmaRead(sqe.prp2,
+                 static_cast<std::uint32_t>(entries * sizeof(std::uint64_t)),
+                 reinterpret_cast<std::uint8_t *>(raw->data()),
+                 [sqe, len, raw, then = std::move(then)] {
+                     then(nvme::decodePrp(sqe.prp1, sqe.prp2, len, *raw));
+                 });
+}
+
+void
+SsdDevice::dmaSegments(const std::vector<nvme::DmaSegment> &segs,
+                       bool to_host, std::uint8_t *buf,
+                       std::function<void()> done)
+{
+    assert(!segs.empty());
+    auto remaining = std::make_shared<std::size_t>(segs.size());
+    auto fire = [remaining, done = std::move(done)] {
+        if (--*remaining == 0)
+            done();
+    };
+    std::uint64_t off = 0;
+    for (const auto &seg : segs) {
+        std::uint8_t *p = buf ? buf + off : nullptr;
+        if (to_host)
+            _up->dmaWrite(seg.addr, seg.len, p, fire);
+        else
+            _up->dmaRead(seg.addr, seg.len, p, fire);
+        off += seg.len;
+    }
+}
+
+void
+SsdDevice::doRead(const Sqe &sqe, std::uint16_t sqid)
+{
+    if (!checkRange(sqe, sqid))
+        return;
+    if (_cfg.readErrorRate > 0.0 &&
+        sim().rng().chance(_cfg.readErrorRate)) {
+        // Unrecoverable media error: reported after a full media
+        // access attempt, as real drives do.
+        std::uint64_t bytes = sqe.dataBytes();
+        _media->read(sqe.slba() * nvme::kBlockSize, bytes,
+                     [this, sqe, sqid] {
+                         ++_mediaErrors;
+                         _ctrl->complete(sqid, sqe.cid,
+                                         Status::DataTransferError);
+                     });
+        return;
+    }
+    std::uint64_t len = sqe.dataBytes();
+    std::uint64_t media_off = sqe.slba() * nvme::kBlockSize;
+    // Media access first; then the data is DMA'd to the host buffers.
+    _media->read(media_off, len, [this, sqe, sqid, len, media_off] {
+        resolveSegments(sqe, [this, sqe, sqid, len, media_off](
+                                 std::vector<nvme::DmaSegment> segs) {
+            std::shared_ptr<std::vector<std::uint8_t>> data;
+            std::uint8_t *ptr = nullptr;
+            if (_cfg.functionalData) {
+                data = std::make_shared<std::vector<std::uint8_t>>(len);
+                _flash.read(media_off, len, data->data());
+                ptr = data->data();
+            }
+            dmaSegments(segs, true, ptr, [this, sqe, sqid, data] {
+                _ctrl->complete(sqid, sqe.cid, Status::Success);
+            });
+        });
+    });
+}
+
+void
+SsdDevice::doWrite(const Sqe &sqe, std::uint16_t sqid)
+{
+    if (!checkRange(sqe, sqid))
+        return;
+    std::uint64_t len = sqe.dataBytes();
+    std::uint64_t media_off = sqe.slba() * nvme::kBlockSize;
+    resolveSegments(sqe, [this, sqe, sqid, len, media_off](
+                             std::vector<nvme::DmaSegment> segs) {
+        std::shared_ptr<std::vector<std::uint8_t>> data;
+        std::uint8_t *ptr = nullptr;
+        if (_cfg.functionalData) {
+            data = std::make_shared<std::vector<std::uint8_t>>(len);
+            ptr = data->data();
+        }
+        dmaSegments(segs, false, ptr,
+                    [this, sqe, sqid, len, media_off, data] {
+                        if (data)
+                            _flash.write(media_off, len, data->data());
+                        _media->write(media_off, len, [this, sqe, sqid] {
+                            _ctrl->complete(sqid, sqe.cid, Status::Success);
+                        });
+                    });
+    });
+}
+
+void
+SsdDevice::doFlush(const Sqe &sqe, std::uint16_t sqid)
+{
+    _media->flush([this, sqe, sqid] {
+        _ctrl->complete(sqid, sqe.cid, Status::Success);
+    });
+}
+
+void
+SsdDevice::executeAdmin(const Sqe &sqe)
+{
+    switch (static_cast<AdminOpcode>(sqe.opcode)) {
+      case AdminOpcode::FirmwareDownload: {
+        // cdw10 NUMD (dwords - 1); we stage opaque bytes.
+        std::uint32_t bytes = ((sqe.cdw10 & 0xffff) + 1) * 4;
+        _fwStaging.resize(_fwStaging.size() + bytes);
+        _ctrl->complete(0, sqe.cid, Status::Success);
+        return;
+      }
+      case AdminOpcode::FirmwareCommit: {
+        if (_upgrading) {
+            _ctrl->complete(0, sqe.cid, Status::NamespaceNotReady);
+            return;
+        }
+        // Activation stalls the device: no new command fetching until
+        // the new image boots. Inflight I/O has already completed by
+        // the time the BMS hot-upgrade flow issues the commit.
+        _upgrading = true;
+        _ctrl->pauseFetch();
+        const auto &p = _cfg.profile;
+        sim::Tick stall = static_cast<sim::Tick>(sim().rng().uniformInt(
+            p.fwActivateMin, p.fwActivateMax));
+        _lastActivation = stall;
+        logInfo("firmware activation, stall ", sim::toMs(stall), " ms");
+        schedule(stall, [this, sqe] {
+            _upgrading = false;
+            ++_fwActivations;
+            _fwRev = "VDV10" + std::to_string(131 + _fwActivations);
+            _fwStaging.clear();
+            _ctrl->resumeFetch();
+            _ctrl->complete(0, sqe.cid, Status::Success);
+        });
+        return;
+      }
+      case AdminOpcode::GetLogPage: {
+        // SMART / health page: zero-filled placeholder payload.
+        auto data =
+            std::make_shared<std::vector<std::uint8_t>>(nvme::kPageSize, 0);
+        std::uint16_t cid = sqe.cid;
+        _ctrl->dmaToHost(sqe, data->data(), nvme::kPageSize,
+                         [this, cid, data] {
+                             _ctrl->complete(0, cid, Status::Success);
+                         });
+        return;
+      }
+      default:
+        _ctrl->complete(0, sqe.cid, Status::InvalidOpcode);
+        return;
+    }
+}
+
+} // namespace bms::ssd

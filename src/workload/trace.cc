@@ -1,0 +1,140 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace bms::workload {
+
+std::uint64_t
+Trace::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const TraceEntry &e : _entries)
+        total += e.len;
+    return total;
+}
+
+namespace {
+
+char
+opCode(host::BlockRequest::Op op)
+{
+    switch (op) {
+      case host::BlockRequest::Op::Read:
+        return 'R';
+      case host::BlockRequest::Op::Write:
+        return 'W';
+      case host::BlockRequest::Op::Flush:
+        return 'F';
+    }
+    return '?';
+}
+
+bool
+opFromCode(char c, host::BlockRequest::Op &out)
+{
+    switch (c) {
+      case 'R':
+        out = host::BlockRequest::Op::Read;
+        return true;
+      case 'W':
+        out = host::BlockRequest::Op::Write;
+        return true;
+      case 'F':
+        out = host::BlockRequest::Op::Flush;
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+Trace::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "# bms block trace v1: when_ns op offset len hint\n");
+    for (const TraceEntry &e : _entries) {
+        std::fprintf(f, "%" PRIu64 " %c %" PRIu64 " %" PRIu32 " %d\n",
+                     e.when, opCode(e.op), e.offset, e.len, e.queueHint);
+    }
+    std::fclose(f);
+    return true;
+}
+
+bool
+Trace::load(const std::string &path, Trace &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    out = Trace{};
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+        if (line[0] == '#' || line[0] == '\n')
+            continue;
+        TraceEntry e;
+        char op = 0;
+        if (std::sscanf(line, "%" SCNu64 " %c %" SCNu64 " %" SCNu32 " %d",
+                        &e.when, &op, &e.offset, &e.len,
+                        &e.queueHint) != 5 ||
+            !opFromCode(op, e.op)) {
+            std::fclose(f);
+            return false;
+        }
+        out.append(e);
+    }
+    std::fclose(f);
+    return true;
+}
+
+void
+TraceReplayer::start(std::function<void()> done)
+{
+    _done = std::move(done);
+    if (_trace.empty()) {
+        _finished = true;
+        if (_done)
+            _done();
+        return;
+    }
+    for (const TraceEntry &e : _trace.entries()) {
+        auto when = static_cast<sim::Tick>(
+            static_cast<double>(e.when) * _scale);
+        schedule(when, [this, e] {
+            host::BlockRequest req;
+            req.op = e.op;
+            req.offset = e.offset;
+            req.len = e.len;
+            req.queueHint = e.queueHint;
+            sim::Tick submitted = now();
+            ++_outstanding;
+            req.done = [this, submitted](bool ok) {
+                --_outstanding;
+                ++_result.completed;
+                if (!ok)
+                    ++_result.errors;
+                _result.latency.add(now() - submitted);
+                if (_allSubmitted && _outstanding == 0 && !_finished) {
+                    _finished = true;
+                    if (_done)
+                        _done();
+                }
+            };
+            _dev.submit(std::move(req));
+        });
+    }
+    // Mark the end of the schedule; the last completion finishes us.
+    // (Traces are usually time-sorted, but tolerate any order.)
+    sim::Tick last = 0;
+    for (const TraceEntry &e : _trace.entries())
+        last = std::max(last, e.when);
+    last = static_cast<sim::Tick>(static_cast<double>(last) * _scale);
+    schedule(last, [this] { _allSubmitted = true; });
+}
+
+} // namespace bms::workload

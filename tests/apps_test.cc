@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Application-model tests: MySQL buffer pool / group commit /
+ * flusher, RocksDB WAL / flush / compaction, and the TPC-C /
+ * Sysbench / YCSB drivers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/mysql_model.hh"
+#include "apps/rocksdb_model.hh"
+#include "apps/sysbench.hh"
+#include "apps/tpcc.hh"
+#include "apps/ycsb.hh"
+#include "tests/test_util.hh"
+
+using namespace bms;
+
+namespace {
+
+struct Fixture
+{
+    sim::Simulator sim{41};
+    host::CpuSet cpus{4};
+    test::RecordingBlockDevice dev{sim, sim::gib(64),
+                                   sim::microseconds(30)};
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// MySQL
+
+TEST(MySql, ColdReadsMissThenHit)
+{
+    Fixture f;
+    apps::MySqlConfig cfg;
+    cfg.dbBytes = sim::gib(8);
+    cfg.bufferPoolBytes = sim::gib(1);
+    auto *db = f.sim.make<apps::MySqlModel>(f.sim, "db", f.dev, f.cpus,
+                                            cfg);
+    apps::TxnSpec spec;
+    spec.pageReads = 4;
+    spec.commit = false;
+    int done = 0;
+    const int n = 1500;
+    for (int i = 0; i < n; ++i)
+        db->executeTxn(spec, i % 4, [&] { ++done; });
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return done == n; }));
+    // Zipf-skewed accesses: the hot pages become resident, so the hit
+    // rate climbs well above zero even with a cold start.
+    EXPECT_GT(db->bufferPoolHitRate(), 0.25);
+    EXPECT_GT(db->pageReadsIssued(), 0u);
+}
+
+TEST(MySql, GroupCommitCoalesces)
+{
+    Fixture f;
+    apps::MySqlConfig cfg;
+    cfg.dbBytes = sim::gib(8);
+    cfg.bufferPoolBytes = sim::gib(4);
+    cfg.cpuPerTxn = sim::microseconds(1); // concurrent commit burst
+    auto *db = f.sim.make<apps::MySqlModel>(f.sim, "db", f.dev, f.cpus,
+                                            cfg);
+    apps::TxnSpec spec;
+    spec.pageReads = 0;
+    spec.logBytes = 300;
+    int done = 0;
+    const int n = 64;
+    for (int i = 0; i < n; ++i)
+        db->executeTxn(spec, i % 4, [&] { ++done; });
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return done == n; }));
+    // 64 concurrent commits coalesce into far fewer log writes.
+    EXPECT_LT(db->logWritesIssued(), 10u);
+    EXPECT_GE(db->logWritesIssued(), 1u);
+}
+
+TEST(MySql, FlusherDrainsDirtyPages)
+{
+    Fixture f;
+    apps::MySqlConfig cfg;
+    cfg.dbBytes = sim::gib(8);
+    cfg.bufferPoolBytes = sim::gib(4);
+    cfg.flushPeriod = sim::milliseconds(2);
+    auto *db = f.sim.make<apps::MySqlModel>(f.sim, "db", f.dev, f.cpus,
+                                            cfg);
+    apps::TxnSpec spec;
+    spec.pageReads = 0;
+    spec.pageWrites = 10;
+    spec.logBytes = 500;
+    int done = 0;
+    for (int i = 0; i < 50; ++i)
+        db->executeTxn(spec, i % 4, [&] { ++done; });
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return done == 50; }));
+    f.sim.runFor(sim::milliseconds(200));
+    EXPECT_GT(db->pagesFlushed(), 0u);
+    EXPECT_LT(db->dirtyPages(), 50u);
+}
+
+TEST(MySql, ReadOnlyTxnSkipsLog)
+{
+    Fixture f;
+    apps::MySqlConfig cfg;
+    cfg.dbBytes = sim::gib(8);
+    cfg.bufferPoolBytes = sim::gib(1);
+    auto *db = f.sim.make<apps::MySqlModel>(f.sim, "db", f.dev, f.cpus,
+                                            cfg);
+    apps::TxnSpec spec;
+    spec.pageReads = 2;
+    spec.commit = false;
+    bool done = false;
+    db->executeTxn(spec, 0, [&] { done = true; });
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return done; }));
+    EXPECT_EQ(db->logWritesIssued(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RocksDB
+
+TEST(RocksDb, PutsWriteWal)
+{
+    Fixture f;
+    apps::RocksDbConfig cfg;
+    auto *db = f.sim.make<apps::RocksDbModel>(f.sim, "db", f.dev, f.cpus,
+                                              cfg);
+    int done = 0;
+    for (int i = 0; i < 100; ++i)
+        db->put(static_cast<std::uint64_t>(i), i % 4, [&] { ++done; });
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return done == 100; }));
+    EXPECT_GE(db->walWrites(), 1u);
+    // WAL writes are group commits at low offsets (the WAL region).
+    bool saw_wal = false;
+    for (const auto &req : f.dev.requests) {
+        if (req.op == host::BlockRequest::Op::Write &&
+            req.offset < sim::gib(1)) {
+            saw_wal = true;
+        }
+    }
+    EXPECT_TRUE(saw_wal);
+}
+
+TEST(RocksDb, MemtableFillTriggersFlushAndCompaction)
+{
+    Fixture f;
+    apps::RocksDbConfig cfg;
+    cfg.memtableBytes = sim::mib(1); // tiny for the test
+    cfg.l0CompactionTrigger = 2;
+    auto *db = f.sim.make<apps::RocksDbModel>(f.sim, "db", f.dev, f.cpus,
+                                              cfg);
+    int done = 0;
+    const int n = 4000; // ~4 MB of values → several flushes
+    for (int i = 0; i < n; ++i)
+        db->put(static_cast<std::uint64_t>(i), i % 4, [&] { ++done; });
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return done == n; }));
+    f.sim.runFor(sim::seconds(1));
+    EXPECT_GE(db->memtableFlushes(), 2u);
+    EXPECT_GE(db->compactions(), 1u);
+}
+
+TEST(RocksDb, HotGetsHitCacheColdGetsRead)
+{
+    Fixture f;
+    apps::RocksDbConfig cfg;
+    auto *db = f.sim.make<apps::RocksDbModel>(f.sim, "db", f.dev, f.cpus,
+                                              cfg);
+    int done = 0;
+    // Hot key (0) and cold keys (near keyCount).
+    for (int i = 0; i < 50; ++i)
+        db->get(0, 0, [&] { ++done; });
+    for (int i = 0; i < 50; ++i)
+        db->get(cfg.keyCount - 1 - static_cast<std::uint64_t>(i), 1,
+                [&] { ++done; });
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return done == 100; }));
+    EXPECT_GT(db->blockCacheHitRate(), 0.3);
+    EXPECT_GE(db->blockReads(), 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+
+TEST(Tpcc, RunsAndReportsMix)
+{
+    Fixture f;
+    apps::MySqlConfig mcfg;
+    mcfg.dbBytes = sim::gib(8);
+    mcfg.bufferPoolBytes = sim::gib(1);
+    auto *db = f.sim.make<apps::MySqlModel>(f.sim, "db", f.dev, f.cpus,
+                                            mcfg);
+    apps::TpccConfig cfg;
+    cfg.threads = 8;
+    cfg.rampTime = sim::milliseconds(10);
+    cfg.runTime = sim::milliseconds(200);
+    auto *drv = f.sim.make<apps::TpccDriver>(f.sim, "tpcc", *db, cfg);
+    drv->start();
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return drv->finished(); }));
+    const auto &res = drv->result();
+    EXPECT_GT(res.transactions, 100u);
+    EXPECT_GT(res.tps, 0.0);
+    // NewOrder is ~45% of the mix.
+    double frac = static_cast<double>(res.newOrders) /
+                  static_cast<double>(res.transactions);
+    EXPECT_NEAR(frac, 0.45, 0.08);
+    EXPECT_NEAR(res.tpmC, res.tps * 0.45 * 60.0, res.tpmC * 0.25);
+}
+
+TEST(Sysbench, QueriesPerTxnAccounting)
+{
+    Fixture f;
+    apps::MySqlConfig mcfg;
+    mcfg.dbBytes = sim::gib(8);
+    mcfg.bufferPoolBytes = sim::gib(1);
+    auto *db = f.sim.make<apps::MySqlModel>(f.sim, "db", f.dev, f.cpus,
+                                            mcfg);
+    apps::SysbenchConfig cfg;
+    cfg.threads = 8;
+    cfg.rampTime = sim::milliseconds(10);
+    cfg.runTime = sim::milliseconds(150);
+    auto *drv = f.sim.make<apps::SysbenchDriver>(f.sim, "sb", *db, cfg);
+    drv->start();
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return drv->finished(); }));
+    EXPECT_EQ(drv->result().queries, drv->result().transactions * 20);
+    EXPECT_GT(drv->result().latency.mean(), 0.0);
+}
+
+TEST(Sysbench, ReadOnlyModeIssuesNoLogWrites)
+{
+    Fixture f;
+    apps::MySqlConfig mcfg;
+    mcfg.dbBytes = sim::gib(8);
+    mcfg.bufferPoolBytes = sim::gib(1);
+    auto *db = f.sim.make<apps::MySqlModel>(f.sim, "db", f.dev, f.cpus,
+                                            mcfg);
+    apps::SysbenchConfig cfg;
+    cfg.threads = 4;
+    cfg.readOnly = true;
+    cfg.rampTime = 0;
+    cfg.runTime = sim::milliseconds(100);
+    auto *drv = f.sim.make<apps::SysbenchDriver>(f.sim, "sb", *db, cfg);
+    drv->start();
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return drv->finished(); }));
+    EXPECT_EQ(db->logWritesIssued(), 0u);
+}
+
+TEST(Ycsb, WorkloadMixesMatchLetters)
+{
+    Fixture f;
+    apps::RocksDbConfig rcfg;
+    auto *db = f.sim.make<apps::RocksDbModel>(f.sim, "db", f.dev, f.cpus,
+                                              rcfg);
+    apps::YcsbConfig cfg;
+    cfg.workload = 'B';
+    cfg.threads = 8;
+    cfg.rampTime = sim::milliseconds(10);
+    cfg.runTime = sim::milliseconds(200);
+    auto *drv = f.sim.make<apps::YcsbDriver>(f.sim, "ycsb", *db, cfg);
+    drv->start();
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return drv->finished(); }));
+    const auto &res = drv->result();
+    double read_frac = static_cast<double>(res.reads) /
+                       static_cast<double>(res.reads + res.updates);
+    EXPECT_NEAR(read_frac, 0.95, 0.02);
+    EXPECT_GT(res.opsPerSec, 0.0);
+}
+
+TEST(Ycsb, ReadFractionTable)
+{
+    EXPECT_DOUBLE_EQ(apps::YcsbDriver::readFraction('A'), 0.5);
+    EXPECT_DOUBLE_EQ(apps::YcsbDriver::readFraction('B'), 0.95);
+    EXPECT_DOUBLE_EQ(apps::YcsbDriver::readFraction('C'), 1.0);
+}

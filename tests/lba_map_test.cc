@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests of the LBA Mapping Table (paper Fig. 4(a), Eqs. (1)-(4)),
+ * including bit-level entry format checks and property-style sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine/lba_map.hh"
+
+using namespace bms::core;
+
+namespace {
+
+LbaMapGeometry
+smallGeom()
+{
+    LbaMapGeometry g;
+    g.rows = 8;
+    g.entriesPerRow = 8;
+    g.chunkBlocks = 1024; // small chunks for testing
+    return g;
+}
+
+} // namespace
+
+TEST(LbaMap, EntryBitFormat)
+{
+    LbaMapTable mt(smallGeom());
+    ASSERT_TRUE(mt.setEntry(2, 3, /*chunk_base=*/0x2A, /*ssd_id=*/1));
+    // Fig. 4(a): [7:2] base, [1:0] SSD id.
+    EXPECT_EQ(mt.rawEntry(2, 3), (0x2A << 2) | 1);
+    EXPECT_TRUE(mt.entryValid(2, 3));
+    EXPECT_EQ(mt.validationVector(2), 1u << 3);
+}
+
+TEST(LbaMap, RejectsOutOfRangeFields)
+{
+    LbaMapTable mt(smallGeom());
+    EXPECT_FALSE(mt.setEntry(0, 0, /*chunk_base=*/64, 0)); // 6-bit field
+    EXPECT_FALSE(mt.setEntry(0, 0, 0, /*ssd_id=*/4));      // 2-bit field
+    EXPECT_FALSE(mt.setEntry(8, 0, 0, 0));                 // row bound
+    EXPECT_FALSE(mt.setEntry(0, 8, 0, 0));                 // col bound
+}
+
+TEST(LbaMap, TranslateFollowsEquations)
+{
+    LbaMapGeometry g = smallGeom();
+    LbaMapTable mt(g);
+    // Host chunk 19 → row 2, col 3 (19 = 2*8 + 3).
+    ASSERT_TRUE(mt.setEntry(2, 3, 0x15, 2));
+    std::uint64_t host_lba = 19 * g.chunkBlocks + 77;
+    auto m = mt.translate(host_lba);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->ssdId, 2);                          // Eq. (3)
+    EXPECT_EQ(m->physLba, 0x15 * g.chunkBlocks + 77); // Eq. (4)
+}
+
+TEST(LbaMap, InvalidEntryFailsTranslation)
+{
+    LbaMapTable mt(smallGeom());
+    EXPECT_FALSE(mt.translate(0).has_value());
+    mt.setEntry(0, 0, 1, 0);
+    EXPECT_TRUE(mt.translate(0).has_value());
+    mt.invalidate(0, 0);
+    EXPECT_FALSE(mt.translate(0).has_value());
+}
+
+TEST(LbaMap, BeyondTableFailsTranslation)
+{
+    LbaMapGeometry g = smallGeom();
+    LbaMapTable mt(g);
+    EXPECT_FALSE(mt.translate(g.capacityBlocks()).has_value());
+}
+
+TEST(LbaMap, AppendChunkFillsRowMajor)
+{
+    LbaMapTable mt(smallGeom());
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        auto pos = mt.appendChunk(static_cast<std::uint8_t>(i % 32),
+                                  static_cast<std::uint8_t>(i % 4));
+        ASSERT_TRUE(pos.has_value());
+        EXPECT_EQ(pos->first, i / 8);
+        EXPECT_EQ(pos->second, i % 8);
+    }
+    EXPECT_EQ(mt.validCount(), 64u);
+    EXPECT_FALSE(mt.appendChunk(0, 0).has_value()); // full
+}
+
+TEST(LbaMap, DefaultGeometryIs64GibChunks)
+{
+    LbaMapGeometry g;
+    EXPECT_EQ(g.chunkBlocks * bms::nvme::kBlockSize, bms::sim::gib(64));
+    EXPECT_EQ(g.capacityBlocks() * bms::nvme::kBlockSize,
+              bms::sim::gib(64) * 64); // 8x8 entries → 4 TiB
+}
+
+/** Property sweep: every LBA in every mapped chunk translates to the
+ *  right SSD and a physical LBA inside the right physical chunk. */
+class LbaMapProperty : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(LbaMapProperty, AllOffsetsConsistent)
+{
+    LbaMapGeometry g = smallGeom();
+    LbaMapTable mt(g);
+    std::uint32_t chunk = GetParam();
+    std::uint32_t row = chunk / g.entriesPerRow;
+    std::uint32_t col = chunk % g.entriesPerRow;
+    std::uint8_t base = static_cast<std::uint8_t>((chunk * 7 + 3) % 64);
+    std::uint8_t ssd = static_cast<std::uint8_t>(chunk % 4);
+    ASSERT_TRUE(mt.setEntry(row, col, base, ssd));
+    for (std::uint64_t off : {std::uint64_t(0), std::uint64_t(1),
+                              g.chunkBlocks / 2, g.chunkBlocks - 1}) {
+        std::uint64_t hl = chunk * g.chunkBlocks + off;
+        auto m = mt.translate(hl);
+        ASSERT_TRUE(m.has_value());
+        EXPECT_EQ(m->ssdId, ssd);
+        EXPECT_EQ(m->physLba / g.chunkBlocks, base);
+        EXPECT_EQ(m->physLba % g.chunkBlocks, off);
+    }
+    // Neighbouring chunks stay unmapped.
+    if (chunk + 1 < 64) {
+        EXPECT_FALSE(
+            mt.translate((chunk + 1) * g.chunkBlocks).has_value());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChunks, LbaMapProperty,
+                         ::testing::Range(0u, 64u, 7u));
+
+TEST(LbaMap, CustomGeometryCapacity)
+{
+    LbaMapGeometry g;
+    g.rows = 4;
+    g.entriesPerRow = 4;
+    g.chunkBlocks = 100;
+    LbaMapTable mt(g);
+    EXPECT_EQ(g.capacityBlocks(), 1600u);
+    ASSERT_TRUE(mt.setEntry(3, 3, 5, 1));
+    auto m = mt.translate(15 * 100 + 42);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->physLba, 542u);
+}

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Out-of-band management tests: MCTP packetization/reassembly,
+ * NVMe-MI codec, wire serialization, and full console ↔
+ * BMS-Controller round trips over the VDM channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mgmt/mctp.hh"
+#include "core/mgmt/nvme_mi.hh"
+#include "core/mgmt/wire.hh"
+#include "harness/runner.hh"
+#include "harness/testbeds.hh"
+#include "tests/test_util.hh"
+#include "workload/fio.hh"
+
+using namespace bms;
+using namespace bms::core;
+
+// ---------------------------------------------------------------------------
+// wire
+
+TEST(Wire, RoundTripAllTypes)
+{
+    wire::Writer w;
+    w.u8(0xAB);
+    w.u16(0xBEEF);
+    w.u32(0xDEADBEEF);
+    w.u64(0x0123456789ABCDEFull);
+    w.f64(3.14159);
+    w.str("bm-store");
+    auto buf = w.take();
+
+    wire::Reader r(buf);
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u16(), 0xBEEF);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+    EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+    EXPECT_EQ(r.str(), "bm-store");
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, ReaderBoundsChecked)
+{
+    std::vector<std::uint8_t> tiny = {1, 2};
+    wire::Reader r(tiny);
+    EXPECT_EQ(r.u32(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// NVMe-MI codec
+
+TEST(NvmeMi, MessageRoundTrip)
+{
+    MiMessage m;
+    m.kind = MiMessage::Kind::Response;
+    m.opcode = MiOpcode::VendorIoStats;
+    m.status = MiStatus::InternalError;
+    m.tag = 0x1234;
+    m.payload = {9, 8, 7};
+    auto raw = m.serialize();
+
+    MiMessage out;
+    ASSERT_TRUE(MiMessage::parse(raw, out));
+    EXPECT_EQ(out.kind, MiMessage::Kind::Response);
+    EXPECT_EQ(out.opcode, MiOpcode::VendorIoStats);
+    EXPECT_EQ(out.status, MiStatus::InternalError);
+    EXPECT_EQ(out.tag, 0x1234);
+    EXPECT_EQ(out.payload, (std::vector<std::uint8_t>{9, 8, 7}));
+}
+
+TEST(NvmeMi, ParseRejectsShortMessage)
+{
+    MiMessage out;
+    EXPECT_FALSE(MiMessage::parse({1, 2, 3}, out));
+}
+
+// ---------------------------------------------------------------------------
+// MCTP
+
+namespace {
+
+struct MctpFixture
+{
+    sim::Simulator sim{11};
+    MctpChannel *channel = sim.make<MctpChannel>(sim, "ch");
+    MctpEndpoint *a = sim.make<MctpEndpoint>(sim, "a", 0x08);
+    MctpEndpoint *b = sim.make<MctpEndpoint>(sim, "b", 0x20);
+
+    MctpFixture()
+    {
+        channel->bind(*a);
+        channel->bind(*b);
+    }
+};
+
+} // namespace
+
+TEST(Mctp, SmallMessageSinglePacket)
+{
+    MctpFixture f;
+    std::vector<std::uint8_t> got;
+    f.b->setHandler([&](Eid src, MctpMsgType type,
+                        std::vector<std::uint8_t> msg) {
+        EXPECT_EQ(src, 0x08);
+        EXPECT_EQ(type, MctpMsgType::NvmeMi);
+        got = std::move(msg);
+    });
+    f.a->sendMessage(0x20, MctpMsgType::NvmeMi, {1, 2, 3});
+    f.sim.runFor(sim::milliseconds(1));
+    EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2, 3}));
+    EXPECT_EQ(f.channel->packetsCarried(), 1u);
+}
+
+TEST(Mctp, LargeMessageFragmentsAndReassembles)
+{
+    MctpFixture f;
+    std::vector<std::uint8_t> big(1000);
+    for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = static_cast<std::uint8_t>(i);
+
+    std::vector<std::uint8_t> got;
+    f.b->setHandler([&](Eid, MctpMsgType, std::vector<std::uint8_t> msg) {
+        got = std::move(msg);
+    });
+    f.a->sendMessage(0x20, MctpMsgType::NvmeMi, big);
+    f.sim.runFor(sim::milliseconds(5));
+    EXPECT_EQ(got, big);
+    // 1000 bytes / 64-byte baseline MTU → 16 packets.
+    EXPECT_EQ(f.channel->packetsCarried(), 16u);
+    EXPECT_EQ(f.b->reassemblyErrors(), 0u);
+}
+
+TEST(Mctp, BidirectionalTraffic)
+{
+    MctpFixture f;
+    int a_got = 0, b_got = 0;
+    f.a->setHandler(
+        [&](Eid, MctpMsgType, std::vector<std::uint8_t>) { ++a_got; });
+    f.b->setHandler(
+        [&](Eid, MctpMsgType, std::vector<std::uint8_t>) { ++b_got; });
+    for (int i = 0; i < 5; ++i) {
+        f.a->sendMessage(0x20, MctpMsgType::Control, {1});
+        f.b->sendMessage(0x08, MctpMsgType::Control, {2});
+    }
+    f.sim.runFor(sim::milliseconds(5));
+    EXPECT_EQ(a_got, 5);
+    EXPECT_EQ(b_got, 5);
+}
+
+TEST(Mctp, OutOfSequencePacketDropsMessage)
+{
+    MctpFixture f;
+    int delivered = 0;
+    f.b->setHandler(
+        [&](Eid, MctpMsgType, std::vector<std::uint8_t>) { ++delivered; });
+    // Hand-craft a middle fragment without its SOM.
+    MctpPacket pkt;
+    pkt.dest = 0x20;
+    pkt.src = 0x08;
+    pkt.som = false;
+    pkt.eom = true;
+    pkt.seq = 2;
+    pkt.msgType = MctpMsgType::NvmeMi;
+    pkt.payload = {1, 2, 3};
+    f.b->receivePacket(pkt);
+    f.sim.runFor(sim::milliseconds(1));
+    EXPECT_EQ(delivered, 0);
+    EXPECT_EQ(f.b->reassemblyErrors(), 1u);
+}
+
+TEST(Mctp, ChannelTimingIsNonZero)
+{
+    MctpFixture f;
+    sim::Tick arrival = 0;
+    f.b->setHandler([&](Eid, MctpMsgType, std::vector<std::uint8_t>) {
+        arrival = f.sim.now();
+    });
+    f.a->sendMessage(0x20, MctpMsgType::Control, {1});
+    f.sim.runFor(sim::milliseconds(1));
+    EXPECT_GE(arrival, sim::microseconds(15)); // channel latency floor
+}
+
+// ---------------------------------------------------------------------------
+// Console ↔ BMS-Controller end to end
+
+TEST(MgmtConsole, HealthPollReportsSlots)
+{
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 2;
+    harness::BmStoreTestbed bed(cfg);
+    bool polled = false;
+    bed.console().healthPoll(
+        bed.controller().endpoint().eid(),
+        [&](std::vector<SlotHealth> slots) {
+            ASSERT_EQ(slots.size(), 2u);
+            EXPECT_TRUE(slots[0].present);
+            EXPECT_TRUE(slots[1].present);
+            EXPECT_EQ(slots[0].capacityBytes,
+                      2000ull * 1000 * 1000 * 1000);
+            polled = true;
+        });
+    EXPECT_TRUE(test::runUntil(bed.sim(), [&] { return polled; }));
+}
+
+TEST(MgmtConsole, CreateAndDestroyNamespaceRemotely)
+{
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 1;
+    harness::BmStoreTestbed bed(cfg);
+    Eid ctrl = bed.controller().endpoint().eid();
+
+    std::optional<std::uint32_t> nsid;
+    bool created = false;
+    bed.console().createNamespace(ctrl, /*fn=*/9, sim::gib(128), 0,
+                                  core::QosLimits(),
+                                  [&](std::optional<std::uint32_t> id) {
+                                      nsid = id;
+                                      created = true;
+                                  });
+    ASSERT_TRUE(test::runUntil(bed.sim(), [&] { return created; }));
+    ASSERT_TRUE(nsid.has_value());
+    EXPECT_NE(bed.engine().findBinding(9, *nsid), nullptr);
+
+    bool destroyed = false;
+    bed.console().destroyNamespace(ctrl, 9, *nsid, [&](bool ok) {
+        EXPECT_TRUE(ok);
+        destroyed = true;
+    });
+    ASSERT_TRUE(test::runUntil(bed.sim(), [&] { return destroyed; }));
+    EXPECT_EQ(bed.engine().findBinding(9, *nsid), nullptr);
+}
+
+TEST(MgmtConsole, CreateNamespaceFailsWhenFull)
+{
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 1;
+    harness::BmStoreTestbed bed(cfg);
+    bool done = false;
+    bed.console().createNamespace(
+        bed.controller().endpoint().eid(), 9, sim::gib(4096), 0,
+        core::QosLimits(), [&](std::optional<std::uint32_t> id) {
+            EXPECT_FALSE(id.has_value());
+            done = true;
+        });
+    EXPECT_TRUE(test::runUntil(bed.sim(), [&] { return done; }));
+}
+
+TEST(MgmtConsole, SetQosRemotely)
+{
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 1;
+    harness::BmStoreTestbed bed(cfg);
+    bed.attachTenant(0, sim::gib(128));
+    bool done = false;
+    core::QosLimits lim;
+    lim.iopsLimit = 5000;
+    bed.console().setQos(bed.controller().endpoint().eid(), 0, 1, lim,
+                         [&](bool ok) {
+                             EXPECT_TRUE(ok);
+                             done = true;
+                         });
+    ASSERT_TRUE(test::runUntil(bed.sim(), [&] { return done; }));
+    const core::QosLimits *got =
+        bed.engine().qos().limitsFor(core::QosModule::key(0, 1));
+    ASSERT_NE(got, nullptr);
+    EXPECT_DOUBLE_EQ(got->iopsLimit, 5000);
+}
+
+TEST(MgmtConsole, SetQosRejectsUnknownBinding)
+{
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 1;
+    harness::BmStoreTestbed bed(cfg);
+    bool done = false;
+    bed.console().setQos(bed.controller().endpoint().eid(), 60, 1,
+                         core::QosLimits(), [&](bool ok) {
+                             EXPECT_FALSE(ok);
+                             done = true;
+                         });
+    EXPECT_TRUE(test::runUntil(bed.sim(), [&] { return done; }));
+}
+
+TEST(MgmtConsole, IoStatsReflectTraffic)
+{
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 1;
+    harness::BmStoreTestbed bed(cfg);
+    host::NvmeDriver &disk = bed.attachTenant(0, sim::gib(128));
+
+    workload::FioJobSpec spec = workload::fioRandR1();
+    spec.runTime = sim::milliseconds(250);
+    harness::runFio(bed.sim(), disk, spec);
+
+    bool done = false;
+    bed.console().ioStats(bed.controller().endpoint().eid(), 0,
+                          [&](std::optional<MiIoStats> st) {
+                              ASSERT_TRUE(st.has_value());
+                              EXPECT_GT(st->readOps, 0u);
+                              EXPECT_GT(st->readIops, 10'000.0);
+                              done = true;
+                          });
+    EXPECT_TRUE(test::runUntil(bed.sim(), [&] { return done; }));
+}
+
+TEST(MgmtConsole, SmartTelemetryReflectsLoad)
+{
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 1;
+    harness::BmStoreTestbed bed(cfg);
+    host::NvmeDriver &disk = bed.attachTenant(0, sim::gib(128));
+
+    // Heavy load warms the disk up.
+    workload::FioJobSpec spec = workload::fioSeqR256();
+    spec.runTime = sim::milliseconds(300);
+    harness::runFio(bed.sim(), disk, spec);
+
+    bool polled = false;
+    bed.console().healthPoll(
+        bed.controller().endpoint().eid(),
+        [&](std::vector<SlotHealth> slots) {
+            ASSERT_EQ(slots.size(), 1u);
+            const SlotHealth &h = slots[0];
+            // Idle floor is 308 K (35 C); sustained sequential load
+            // pushes the composite temperature well above it.
+            EXPECT_GT(h.temperatureK, 315);
+            EXPECT_LT(h.temperatureK, 273 + 75);
+            EXPECT_EQ(h.firmwareRev, "VDV10131");
+            EXPECT_EQ(h.mediaErrors, 0u);
+            EXPECT_LE(h.percentageUsed, 1);
+            polled = true;
+        });
+    EXPECT_TRUE(test::runUntil(bed.sim(), [&] { return polled; }));
+}

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit tests of the discrete-event kernel: event ordering,
+ * cancellation, time limits, RNG determinism, histogram quantiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/sparse_memory.hh"
+#include "sim/stats.hh"
+#include "sim/stats_registry.hh"
+
+using namespace bms::sim;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventId id = q.schedule(10, [&] { ran = true; });
+    q.cancel(id);
+    q.runAll();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop)
+{
+    EventQueue q;
+    q.cancel(kInvalidEventId);
+    q.cancel(12345);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&] { ++count; });
+    q.schedule(20, [&] { ++count; });
+    q.schedule(30, [&] { ++count; });
+    q.runUntil(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20u);
+    q.runAll();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenEmpty)
+{
+    EventQueue q;
+    q.runUntil(1000);
+    EXPECT_EQ(q.now(), 1000u);
+}
+
+TEST(EventQueue, CancelledHeadDoesNotLeakLaterEvents)
+{
+    EventQueue q;
+    bool late_ran = false;
+    EventId early = q.schedule(10, [] {});
+    q.schedule(100, [&] { late_ran = true; });
+    q.cancel(early);
+    q.runUntil(50);
+    EXPECT_FALSE(late_ran);
+    EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5)
+            q.scheduleAfter(10, recurse);
+    };
+    q.schedule(0, recurse);
+    q.runAll();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(Simulator, OwnsObjectsAndTime)
+{
+    Simulator sim(42);
+    EXPECT_EQ(sim.now(), 0u);
+    sim.scheduleAfter(milliseconds(1), [] {});
+    sim.runFor(milliseconds(2));
+    EXPECT_EQ(sim.now(), milliseconds(2));
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1'000'000), b.uniformInt(0, 1'000'000));
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t v = r.uniformInt(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect)
+{
+    Rng r(11);
+    double sum = 0;
+    const int n = 200'000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(50.0);
+    EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Zipfian, HotItemsDominate)
+{
+    Rng r(5);
+    ZipfianGenerator z(1000, 0.99);
+    std::vector<int> counts(1000, 0);
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z.next(r)];
+    // Item 0 should be by far the most popular.
+    EXPECT_GT(counts[0], counts[500] * 10);
+    // And all samples must be in range (implicitly checked by index).
+    int total = 0;
+    for (int c : counts)
+        total += c;
+    EXPECT_EQ(total, n);
+}
+
+TEST(Zipfian, SingleItem)
+{
+    Rng r(5);
+    ZipfianGenerator z(1, 0.99);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(z.next(r), 0u);
+}
+
+TEST(LatencyHistogram, ExactForSmallValues)
+{
+    LatencyHistogram h;
+    for (Tick v = 0; v < 32; ++v)
+        h.add(v);
+    EXPECT_EQ(h.count(), 32u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 31u);
+    EXPECT_NEAR(h.mean(), 15.5, 0.01);
+}
+
+TEST(LatencyHistogram, QuantilesWithinRelativeError)
+{
+    LatencyHistogram h;
+    // Uniform 1..100000 ns.
+    for (Tick v = 1; v <= 100'000; ++v)
+        h.add(v);
+    EXPECT_NEAR(static_cast<double>(h.p50()), 50'000.0, 50'000.0 * 0.04);
+    EXPECT_NEAR(static_cast<double>(h.p99()), 99'000.0, 99'000.0 * 0.04);
+    EXPECT_NEAR(static_cast<double>(h.quantile(0.999)), 99'900.0,
+                99'900.0 * 0.04);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombined)
+{
+    LatencyHistogram a, b, all;
+    for (Tick v = 0; v < 1000; ++v) {
+        if (v % 2) {
+            a.add(v * 100);
+        } else {
+            b.add(v * 100);
+        }
+        all.add(v * 100);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.p50(), all.p50());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(LatencyHistogram, EmptyIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.p99(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(SampleStats, Moments)
+{
+    SampleStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_NEAR(s.mean(), 5.0, 1e-9);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(SparseMemory, ReadBackWritten)
+{
+    SparseMemory m;
+    std::uint8_t data[100];
+    for (int i = 0; i < 100; ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    m.write(4090, 100, data); // crosses a page boundary
+    std::uint8_t out[100] = {};
+    m.read(4090, 100, out);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(out[i], data[i]);
+}
+
+TEST(SparseMemory, UnwrittenReadsZero)
+{
+    SparseMemory m;
+    std::uint8_t out[16];
+    m.read(123456789, 16, out);
+    for (std::uint8_t b : out)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(m.allocatedPages(), 0u);
+}
+
+TEST(TimeSeries, BucketsByTime)
+{
+    TimeSeries ts(milliseconds(10));
+    ts.record(milliseconds(5));
+    ts.record(milliseconds(5));
+    ts.record(milliseconds(25));
+    ASSERT_EQ(ts.size(), 3u);
+    EXPECT_EQ(ts.counts()[0], 2u);
+    EXPECT_EQ(ts.counts()[1], 0u);
+    EXPECT_EQ(ts.counts()[2], 1u);
+    EXPECT_NEAR(ts.rateAt(0), 200.0, 1e-9);
+}
+
+TEST(Bandwidth, DelayForBytes)
+{
+    Bandwidth bw = Bandwidth::gbPerSec(1.0);
+    EXPECT_EQ(bw.delayFor(1'000'000), 1'000'000u); // 1 MB at 1 GB/s = 1 ms
+    EXPECT_EQ(Bandwidth{}.delayFor(4096), 0u);
+}
+
+TEST(StatsRegistry, RegisterDumpVisit)
+{
+    StatsRegistry reg;
+    int counter = 7;
+    reg.add("a.ops", [&counter] { return static_cast<double>(counter); });
+    reg.add("b.rate", [] { return 2.5; });
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_TRUE(reg.has("a.ops"));
+    EXPECT_FALSE(reg.has("missing"));
+    EXPECT_DOUBLE_EQ(reg.value("a.ops"), 7.0);
+    counter = 9;
+    EXPECT_DOUBLE_EQ(reg.value("a.ops"), 9.0); // live, not a snapshot
+
+    std::vector<std::string> names;
+    reg.visit([&](const std::string &n, double) { names.push_back(n); });
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a.ops"); // sorted
+    EXPECT_EQ(names[1], "b.rate");
+}
+
+TEST(StatsRegistry, ComponentsSelfRegister)
+{
+    Simulator sim(1);
+    // Registered stats appear under "<component>.<stat>" and follow
+    // the live counters.
+    EXPECT_EQ(sim.stats().size(), 0u);
+}

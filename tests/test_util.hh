@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared test utilities: a functional upstream fake for exercising
+ * controllers without a full PCIe hierarchy, a recording block
+ * device, and run-until helpers.
+ */
+
+#ifndef BMS_TESTS_TEST_UTIL_HH
+#define BMS_TESTS_TEST_UTIL_HH
+
+#include <cassert>
+#include <functional>
+#include <vector>
+
+#include "host/block.hh"
+#include "pcie/device.hh"
+#include "sim/simulator.hh"
+#include "sim/sparse_memory.hh"
+
+namespace bms::test {
+
+/**
+ * Upstream fake: functional memory, one-tick DMA, interrupt capture.
+ * Lets controller-level tests run without links or a host model.
+ */
+class FakeUpstream : public pcie::PcieUpstreamIf
+{
+  public:
+    explicit FakeUpstream(sim::Simulator &sim) : _sim(sim) {}
+
+    void
+    dmaRead(std::uint64_t addr, std::uint32_t len, std::uint8_t *out,
+            std::function<void()> done) override
+    {
+        _sim.scheduleAfter(1, [this, addr, len, out,
+                               done = std::move(done)] {
+            if (out)
+                memory.read(addr, len, out);
+            done();
+        });
+    }
+
+    void
+    dmaWrite(std::uint64_t addr, std::uint32_t len,
+             const std::uint8_t *data, std::function<void()> done) override
+    {
+        _sim.scheduleAfter(1, [this, addr, len, data,
+                               done = std::move(done)] {
+            if (data)
+                memory.write(addr, len, data);
+            done();
+        });
+    }
+
+    void
+    msix(pcie::FunctionId fn, std::uint16_t vector) override
+    {
+        interrupts.emplace_back(fn, vector);
+        if (onInterrupt)
+            onInterrupt(fn, vector);
+    }
+
+    sim::SparseMemory memory;
+    std::vector<std::pair<pcie::FunctionId, std::uint16_t>> interrupts;
+    std::function<void(pcie::FunctionId, std::uint16_t)> onInterrupt;
+
+  private:
+    sim::Simulator &_sim;
+};
+
+/** Block device fake that records requests and completes after a
+ *  fixed delay. */
+class RecordingBlockDevice : public host::BlockDeviceIf
+{
+  public:
+    RecordingBlockDevice(sim::Simulator &sim, std::uint64_t capacity,
+                         sim::Tick latency = sim::microseconds(10))
+        : _sim(sim), _capacity(capacity), _latency(latency)
+    {}
+
+    void
+    submit(host::BlockRequest req) override
+    {
+        requests.push_back(req);
+        auto done = std::move(req.done);
+        _sim.scheduleAfter(_latency, [done = std::move(done)] {
+            if (done)
+                done(true);
+        });
+    }
+
+    std::uint64_t capacityBytes() const override { return _capacity; }
+
+    std::vector<host::BlockRequest> requests;
+
+  private:
+    sim::Simulator &_sim;
+    std::uint64_t _capacity;
+    sim::Tick _latency;
+};
+
+/** Run @p sim until @p pred or fail after @p timeout. */
+inline bool
+runUntil(sim::Simulator &sim, const std::function<bool()> &pred,
+         sim::Tick timeout = sim::seconds(30))
+{
+    sim::Tick deadline = sim.now() + timeout;
+    while (!pred()) {
+        if (sim.now() >= deadline)
+            return false;
+        sim.runUntil(sim.now() + sim::milliseconds(1));
+    }
+    return true;
+}
+
+} // namespace bms::test
+
+#endif // BMS_TESTS_TEST_UTIL_HH

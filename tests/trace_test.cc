@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Trace capture/replay tests: transparent recording, save/load round
+ * trip, open-loop replay timing, time scaling, and a record-on-native
+ * → replay-on-BM-Store end-to-end scenario.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+#include "harness/testbeds.hh"
+#include "tests/test_util.hh"
+#include "workload/fio.hh"
+#include "workload/trace.hh"
+
+using namespace bms;
+using workload::Trace;
+using workload::TraceEntry;
+using workload::TraceRecorder;
+using workload::TraceReplayer;
+
+TEST(Trace, RecorderIsTransparent)
+{
+    sim::Simulator sim(3);
+    test::RecordingBlockDevice base(sim, sim::gib(8));
+    auto *rec = sim.make<TraceRecorder>(sim, "rec", base);
+    EXPECT_EQ(rec->capacityBytes(), sim::gib(8));
+
+    bool done = false;
+    host::BlockRequest req;
+    req.op = host::BlockRequest::Op::Write;
+    req.offset = 8192;
+    req.len = 4096;
+    req.done = [&](bool ok) {
+        EXPECT_TRUE(ok);
+        done = true;
+    };
+    rec->submit(std::move(req));
+    sim.runAll();
+    EXPECT_TRUE(done);
+    ASSERT_EQ(base.requests.size(), 1u); // passed through
+    ASSERT_EQ(rec->trace().size(), 1u);  // and recorded
+    EXPECT_EQ(rec->trace().entries()[0].offset, 8192u);
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    Trace t;
+    t.append(TraceEntry{0, host::BlockRequest::Op::Read, 4096, 4096, 0});
+    t.append(TraceEntry{sim::microseconds(50),
+                        host::BlockRequest::Op::Write, 65536, 16384, 2});
+    t.append(TraceEntry{sim::microseconds(90),
+                        host::BlockRequest::Op::Flush, 0, 0, -1});
+    std::string path = "/tmp/bms_trace_test.txt";
+    ASSERT_TRUE(t.save(path));
+
+    Trace back;
+    ASSERT_TRUE(Trace::load(path, back));
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back.entries()[0], t.entries()[0]);
+    EXPECT_EQ(back.entries()[1], t.entries()[1]);
+    EXPECT_EQ(back.entries()[2], t.entries()[2]);
+    EXPECT_EQ(back.totalBytes(), 4096u + 16384u);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, LoadRejectsGarbage)
+{
+    std::string path = "/tmp/bms_trace_garbage.txt";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "not a trace\n");
+    std::fclose(f);
+    Trace t;
+    EXPECT_FALSE(Trace::load(path, t));
+    std::remove(path.c_str());
+    EXPECT_FALSE(Trace::load("/nonexistent/trace", t));
+}
+
+TEST(Trace, ReplayPreservesScheduleAndOffsets)
+{
+    sim::Simulator sim(3);
+    test::RecordingBlockDevice dev(sim, sim::gib(8),
+                                   sim::microseconds(5));
+    Trace t;
+    t.append(TraceEntry{sim::microseconds(10),
+                        host::BlockRequest::Op::Read, 0, 4096, 0});
+    t.append(TraceEntry{sim::microseconds(30),
+                        host::BlockRequest::Op::Write, 8192, 4096, 1});
+    auto *rep = sim.make<TraceReplayer>(sim, "rep", dev, t);
+    bool done = false;
+    rep->start([&] { done = true; });
+    sim.runAll();
+    ASSERT_TRUE(done);
+    EXPECT_EQ(rep->result().completed, 2u);
+    EXPECT_EQ(rep->result().errors, 0u);
+    ASSERT_EQ(dev.requests.size(), 2u);
+    EXPECT_EQ(dev.requests[0].offset, 0u);
+    EXPECT_EQ(dev.requests[1].offset, 8192u);
+    // Last submission at 30 us + 5 us service = 35 us end time.
+    EXPECT_EQ(sim.now(), sim::microseconds(35));
+}
+
+TEST(Trace, TimeScaleStretchesSchedule)
+{
+    sim::Simulator sim(3);
+    test::RecordingBlockDevice dev(sim, sim::gib(8),
+                                   sim::microseconds(1));
+    Trace t;
+    t.append(TraceEntry{sim::microseconds(100),
+                        host::BlockRequest::Op::Read, 0, 4096, 0});
+    auto *rep = sim.make<TraceReplayer>(sim, "rep", dev, t,
+                                        /*time_scale=*/2.0);
+    rep->start();
+    sim.runAll();
+    EXPECT_EQ(sim.now(), sim::microseconds(201));
+}
+
+TEST(Trace, EmptyTraceFinishesImmediately)
+{
+    sim::Simulator sim(3);
+    test::RecordingBlockDevice dev(sim, sim::gib(8));
+    auto *rep = sim.make<TraceReplayer>(sim, "rep", dev, Trace{});
+    bool done = false;
+    rep->start([&] { done = true; });
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(rep->finished());
+}
+
+TEST(Trace, RecordOnNativeReplayOnBmStore)
+{
+    // The production workflow: capture a tenant's traffic on a native
+    // disk, replay it against a BM-Store namespace, compare latency.
+    harness::TestbedConfig ncfg;
+    ncfg.ssdCount = 1;
+    harness::NativeTestbed native(ncfg);
+    auto *rec = native.sim().make<TraceRecorder>(native.sim(), "rec",
+                                                 native.driver(0));
+    workload::FioJobSpec spec = workload::fioRandR1();
+    spec.runTime = sim::milliseconds(20);
+    spec.rampTime = 0;
+    // Keep offsets inside the (smaller) BM-Store namespace we replay
+    // against below.
+    spec.regionBytes = sim::gib(1024);
+    harness::runFio(native.sim(), *rec, spec);
+    Trace captured = rec->trace();
+    ASSERT_GT(captured.size(), 500u);
+
+    harness::TestbedConfig bcfg;
+    bcfg.ssdCount = 1;
+    harness::BmStoreTestbed bms(bcfg);
+    host::NvmeDriver &disk = bms.attachTenant(0, sim::gib(1536));
+    auto *rep = bms.sim().make<TraceReplayer>(bms.sim(), "rep", disk,
+                                              captured);
+    rep->start();
+    ASSERT_TRUE(
+        test::runUntil(bms.sim(), [&] { return rep->finished(); }));
+    EXPECT_EQ(rep->result().completed, captured.size());
+    EXPECT_EQ(rep->result().errors, 0u);
+    // Open-loop replay against BM-Store: ~80 us per 4K read.
+    EXPECT_NEAR(sim::toUs(rep->result().latency.mean()) , 80.0, 6.0);
+}

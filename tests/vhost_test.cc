@@ -1,0 +1,235 @@
+/**
+ * @file
+ * SPDK vhost baseline tests: poll-mode service, request splitting by
+ * the CentOS 3.10 virtio front end, reactor scaling, partitioning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/spdk_vhost.hh"
+#include "harness/runner.hh"
+#include "harness/testbeds.hh"
+#include "tests/test_util.hh"
+#include "virt/virtio_blk.hh"
+#include "workload/fio.hh"
+
+using namespace bms;
+
+namespace {
+
+struct Fixture
+{
+    sim::Simulator sim{31};
+    host::CpuSet vcpus{4};
+    test::RecordingBlockDevice backend{sim, sim::gib(64),
+                                       sim::microseconds(15)};
+    baselines::SpdkVhostTarget *target;
+    virt::VirtioBlkDevice *blk;
+
+    explicit Fixture(std::uint32_t max_seg = 64 * 1024, int queues = 1)
+    {
+        baselines::SpdkVhostConfig cfg;
+        cfg.cores = 1;
+        target = sim.make<baselines::SpdkVhostTarget>(sim, "vhost", cfg);
+        host::PlatformProfile prof = host::centos7Guest();
+        prof.virtioMaxSegBytes = max_seg;
+        blk = sim.make<virt::VirtioBlkDevice>(sim, "vblk", vcpus, prof,
+                                              sim::gib(64), queues);
+        target->addDevice(*blk, backend);
+        target->start();
+    }
+};
+
+} // namespace
+
+TEST(Vhost, ServesRequestThroughPolling)
+{
+    Fixture f;
+    bool done = false;
+    host::BlockRequest req;
+    req.op = host::BlockRequest::Op::Read;
+    req.offset = 4096;
+    req.len = 4096;
+    req.done = [&](bool ok) {
+        EXPECT_TRUE(ok);
+        done = true;
+    };
+    f.blk->submit(std::move(req));
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return done; }));
+    ASSERT_EQ(f.backend.requests.size(), 1u);
+    EXPECT_EQ(f.backend.requests[0].offset, 4096u);
+    EXPECT_EQ(f.target->requestsServed(), 1u);
+}
+
+TEST(Vhost, OldGuestSplitsLargeRequests)
+{
+    Fixture f(/*max_seg=*/64 * 1024);
+    bool done = false;
+    host::BlockRequest req;
+    req.op = host::BlockRequest::Op::Read;
+    req.offset = 0;
+    req.len = 128 * 1024;
+    req.done = [&](bool ok) {
+        EXPECT_TRUE(ok);
+        done = true;
+    };
+    f.blk->submit(std::move(req));
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return done; }));
+    // The CentOS 3.10 virtio front end split 128K into two 64K parts.
+    ASSERT_EQ(f.backend.requests.size(), 2u);
+    EXPECT_EQ(f.backend.requests[0].len, 64u * 1024);
+    EXPECT_EQ(f.backend.requests[1].len, 64u * 1024);
+    EXPECT_EQ(f.backend.requests[1].offset, 64u * 1024);
+}
+
+TEST(Vhost, ModernGuestDoesNotSplit)
+{
+    Fixture f(/*max_seg=*/0);
+    bool done = false;
+    host::BlockRequest req;
+    req.op = host::BlockRequest::Op::Write;
+    req.len = 128 * 1024;
+    req.done = [&](bool) { done = true; };
+    f.blk->submit(std::move(req));
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return done; }));
+    ASSERT_EQ(f.backend.requests.size(), 1u);
+    EXPECT_EQ(f.backend.requests[0].len, 128u * 1024);
+}
+
+TEST(Vhost, PartCompletionAggregatesParentOnce)
+{
+    Fixture f(4096);
+    int completions = 0;
+    host::BlockRequest req;
+    req.op = host::BlockRequest::Op::Read;
+    req.len = 64 * 1024; // 16 parts
+    req.done = [&](bool ok) {
+        EXPECT_TRUE(ok);
+        ++completions;
+    };
+    f.blk->submit(std::move(req));
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return completions > 0; }));
+    f.sim.runFor(sim::milliseconds(1));
+    EXPECT_EQ(completions, 1);
+    EXPECT_EQ(f.backend.requests.size(), 16u);
+}
+
+TEST(Vhost, MultiQueueSpreadsAcrossRings)
+{
+    Fixture f(0, /*queues=*/4);
+    int done = 0;
+    for (int i = 0; i < 8; ++i) {
+        host::BlockRequest req;
+        req.op = host::BlockRequest::Op::Read;
+        req.len = 4096;
+        req.queueHint = i;
+        req.done = [&](bool) { ++done; };
+        f.blk->submit(std::move(req));
+    }
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return done == 8; }));
+    EXPECT_EQ(f.blk->ringCount(), 4);
+}
+
+TEST(Vhost, ReactorBusyWhilePolling)
+{
+    Fixture f;
+    // Even with no traffic, poll-mode reactors burn cycles.
+    f.sim.runFor(sim::milliseconds(5));
+    EXPECT_GT(f.target->reactorUtilization(f.sim.now()), 0.0);
+    EXPECT_EQ(f.target->coresUsed(), 1);
+}
+
+TEST(Vhost, PerCoreThroughputCapped)
+{
+    // One reactor core saturates near 1/(perIoBase + 4K*perByte) for
+    // 4K requests — the Fig. 9 rand-r-128 ceiling (~260K IOPS).
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 1;
+    baselines::SpdkVhostConfig vcfg;
+    vcfg.cores = 1;
+    harness::VhostTestbed bed(cfg, vcfg);
+    auto vm = bed.addVm(0, 0, sim::gib(512));
+    bed.start();
+    workload::FioJobSpec spec = workload::fioRandR128();
+    spec.runTime = sim::milliseconds(200);
+    workload::FioResult res = harness::runFio(bed.sim(), *vm.blk, spec);
+    EXPECT_GT(res.iops, 220'000.0);
+    EXPECT_LT(res.iops, 300'000.0);
+}
+
+TEST(Vhost, PartitionsIsolateOffsets)
+{
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 1;
+    cfg.ssd.functionalData = true;
+    baselines::SpdkVhostConfig vcfg;
+    harness::VhostTestbed bed(cfg, vcfg);
+    auto vm0 = bed.addVm(0, 0, sim::gib(4));
+    auto vm1 = bed.addVm(0, sim::gib(4), sim::gib(4));
+    bed.start();
+
+    // Both VMs write their LBA 0; physically they are 4 GiB apart.
+    auto &mem = bed.host().memory();
+    std::uint64_t b0 = mem.alloc(4096), b1 = mem.alloc(4096);
+    std::vector<std::uint8_t> d0(4096, 0x11), d1(4096, 0x22);
+    mem.write(b0, 4096, d0.data());
+    mem.write(b1, 4096, d1.data());
+    int done = 0;
+    for (auto [blk, buf] : {std::pair{vm0.blk, b0}, {vm1.blk, b1}}) {
+        host::BlockRequest req;
+        req.op = host::BlockRequest::Op::Write;
+        req.offset = 0;
+        req.len = 4096;
+        req.dataAddr = buf;
+        req.done = [&](bool ok) {
+            EXPECT_TRUE(ok);
+            ++done;
+        };
+        blk->submit(std::move(req));
+    }
+    ASSERT_TRUE(test::runUntil(bed.sim(), [&] { return done == 2; }));
+
+    std::vector<std::uint8_t> got(4096);
+    bed.ssd(0).flash().read(0, 4096, got.data());
+    EXPECT_EQ(got, d0);
+    bed.ssd(0).flash().read(sim::gib(4), 4096, got.data());
+    EXPECT_EQ(got, d1);
+}
+
+TEST(Vhost, OutOfPartitionRejected)
+{
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 1;
+    baselines::SpdkVhostConfig vcfg;
+    harness::VhostTestbed bed(cfg, vcfg);
+    auto vm = bed.addVm(0, 0, sim::gib(4));
+    bed.start();
+    bool done = false;
+    host::BlockRequest req;
+    req.op = host::BlockRequest::Op::Read;
+    req.offset = sim::gib(4); // one block past the partition
+    req.len = 4096;
+    req.done = [&](bool ok) {
+        EXPECT_FALSE(ok);
+        done = true;
+    };
+    vm.blk->submit(std::move(req));
+    EXPECT_TRUE(test::runUntil(bed.sim(), [&] { return done; }));
+}
+
+TEST(Vhost, FlushPassesThrough)
+{
+    Fixture f;
+    bool done = false;
+    host::BlockRequest fl;
+    fl.op = host::BlockRequest::Op::Flush;
+    fl.len = 0;
+    fl.done = [&](bool ok) {
+        EXPECT_TRUE(ok);
+        done = true;
+    };
+    f.blk->submit(std::move(fl));
+    EXPECT_TRUE(test::runUntil(f.sim, [&] { return done; }));
+    ASSERT_EQ(f.backend.requests.size(), 1u);
+    EXPECT_EQ(f.backend.requests[0].op, host::BlockRequest::Op::Flush);
+}
