@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_zero_copy"
+  "../bench/ablation_zero_copy.pdb"
+  "CMakeFiles/ablation_zero_copy.dir/ablation_zero_copy.cc.o"
+  "CMakeFiles/ablation_zero_copy.dir/ablation_zero_copy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zero_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

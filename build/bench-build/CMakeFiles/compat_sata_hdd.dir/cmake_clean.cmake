@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/compat_sata_hdd"
+  "../bench/compat_sata_hdd.pdb"
+  "CMakeFiles/compat_sata_hdd.dir/compat_sata_hdd.cc.o"
+  "CMakeFiles/compat_sata_hdd.dir/compat_sata_hdd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compat_sata_hdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

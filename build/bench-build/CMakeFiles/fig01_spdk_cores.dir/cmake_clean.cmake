@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_spdk_cores"
+  "../bench/fig01_spdk_cores.pdb"
+  "CMakeFiles/fig01_spdk_cores.dir/fig01_spdk_cores.cc.o"
+  "CMakeFiles/fig01_spdk_cores.dir/fig01_spdk_cores.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_spdk_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_baremetal_single_disk"
+  "../bench/fig08_baremetal_single_disk.pdb"
+  "CMakeFiles/fig08_baremetal_single_disk.dir/fig08_baremetal_single_disk.cc.o"
+  "CMakeFiles/fig08_baremetal_single_disk.dir/fig08_baremetal_single_disk.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_baremetal_single_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

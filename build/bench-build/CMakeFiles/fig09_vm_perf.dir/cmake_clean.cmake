@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_vm_perf"
+  "../bench/fig09_vm_perf.pdb"
+  "CMakeFiles/fig09_vm_perf.dir/fig09_vm_perf.cc.o"
+  "CMakeFiles/fig09_vm_perf.dir/fig09_vm_perf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vm_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_multi_vm"
+  "../bench/fig11_multi_vm.pdb"
+  "CMakeFiles/fig11_multi_vm.dir/fig11_multi_vm.cc.o"
+  "CMakeFiles/fig11_multi_vm.dir/fig11_multi_vm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_multi_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

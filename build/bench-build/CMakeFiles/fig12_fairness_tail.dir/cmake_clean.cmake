@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_fairness_tail"
+  "../bench/fig12_fairness_tail.pdb"
+  "CMakeFiles/fig12_fairness_tail.dir/fig12_fairness_tail.cc.o"
+  "CMakeFiles/fig12_fairness_tail.dir/fig12_fairness_tail.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fairness_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

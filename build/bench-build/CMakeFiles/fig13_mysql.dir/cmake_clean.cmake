@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_mysql"
+  "../bench/fig13_mysql.pdb"
+  "CMakeFiles/fig13_mysql.dir/fig13_mysql.cc.o"
+  "CMakeFiles/fig13_mysql.dir/fig13_mysql.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mysql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

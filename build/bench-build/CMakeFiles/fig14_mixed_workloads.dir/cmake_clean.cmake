@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_mixed_workloads"
+  "../bench/fig14_mixed_workloads.pdb"
+  "CMakeFiles/fig14_mixed_workloads.dir/fig14_mixed_workloads.cc.o"
+  "CMakeFiles/fig14_mixed_workloads.dir/fig14_mixed_workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mixed_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_hotupgrade"
+  "../bench/fig15_hotupgrade.pdb"
+  "CMakeFiles/fig15_hotupgrade.dir/fig15_hotupgrade.cc.o"
+  "CMakeFiles/fig15_hotupgrade.dir/fig15_hotupgrade.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_hotupgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table01_features"
+  "../bench/table01_features.pdb"
+  "CMakeFiles/table01_features.dir/table01_features.cc.o"
+  "CMakeFiles/table01_features.dir/table01_features.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table06_os_kernels"
+  "../bench/table06_os_kernels.pdb"
+  "CMakeFiles/table06_os_kernels.dir/table06_os_kernels.cc.o"
+  "CMakeFiles/table06_os_kernels.dir/table06_os_kernels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_os_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

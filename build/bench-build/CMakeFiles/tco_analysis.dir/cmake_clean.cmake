@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tco_analysis"
+  "../bench/tco_analysis.pdb"
+  "CMakeFiles/tco_analysis.dir/tco_analysis.cc.o"
+  "CMakeFiles/tco_analysis.dir/tco_analysis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tco_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_on_bmstore.dir/database_on_bmstore.cc.o"
+  "CMakeFiles/database_on_bmstore.dir/database_on_bmstore.cc.o.d"
+  "database_on_bmstore"
+  "database_on_bmstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_on_bmstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

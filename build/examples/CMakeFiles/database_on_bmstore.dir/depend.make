@@ -1,0 +1,2 @@
+# Empty dependencies file for database_on_bmstore.
+# This may be replaced when dependencies are built.

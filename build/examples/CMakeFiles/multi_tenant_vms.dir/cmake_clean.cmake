@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_vms.dir/multi_tenant_vms.cc.o"
+  "CMakeFiles/multi_tenant_vms.dir/multi_tenant_vms.cc.o.d"
+  "multi_tenant_vms"
+  "multi_tenant_vms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_vms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_band_mgmt.dir/out_of_band_mgmt.cc.o"
+  "CMakeFiles/out_of_band_mgmt.dir/out_of_band_mgmt.cc.o.d"
+  "out_of_band_mgmt"
+  "out_of_band_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_band_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("pcie")
+subdirs("nvme")
+subdirs("ssd")
+subdirs("host")
+subdirs("virt")
+subdirs("baselines")
+subdirs("remote")
+subdirs("core")
+subdirs("workload")
+subdirs("apps")
+subdirs("harness")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/mysql_model.cc" "src/apps/CMakeFiles/bms_apps.dir/mysql_model.cc.o" "gcc" "src/apps/CMakeFiles/bms_apps.dir/mysql_model.cc.o.d"
+  "/root/repo/src/apps/rocksdb_model.cc" "src/apps/CMakeFiles/bms_apps.dir/rocksdb_model.cc.o" "gcc" "src/apps/CMakeFiles/bms_apps.dir/rocksdb_model.cc.o.d"
+  "/root/repo/src/apps/sysbench.cc" "src/apps/CMakeFiles/bms_apps.dir/sysbench.cc.o" "gcc" "src/apps/CMakeFiles/bms_apps.dir/sysbench.cc.o.d"
+  "/root/repo/src/apps/tpcc.cc" "src/apps/CMakeFiles/bms_apps.dir/tpcc.cc.o" "gcc" "src/apps/CMakeFiles/bms_apps.dir/tpcc.cc.o.d"
+  "/root/repo/src/apps/ycsb.cc" "src/apps/CMakeFiles/bms_apps.dir/ycsb.cc.o" "gcc" "src/apps/CMakeFiles/bms_apps.dir/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/bms_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bms_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/bms_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/bms_pcie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

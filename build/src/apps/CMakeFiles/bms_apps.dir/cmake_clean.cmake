@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bms_apps.dir/mysql_model.cc.o"
+  "CMakeFiles/bms_apps.dir/mysql_model.cc.o.d"
+  "CMakeFiles/bms_apps.dir/rocksdb_model.cc.o"
+  "CMakeFiles/bms_apps.dir/rocksdb_model.cc.o.d"
+  "CMakeFiles/bms_apps.dir/sysbench.cc.o"
+  "CMakeFiles/bms_apps.dir/sysbench.cc.o.d"
+  "CMakeFiles/bms_apps.dir/tpcc.cc.o"
+  "CMakeFiles/bms_apps.dir/tpcc.cc.o.d"
+  "CMakeFiles/bms_apps.dir/ycsb.cc.o"
+  "CMakeFiles/bms_apps.dir/ycsb.cc.o.d"
+  "libbms_apps.a"
+  "libbms_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bms_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

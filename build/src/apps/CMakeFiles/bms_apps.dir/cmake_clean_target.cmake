@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbms_apps.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bms_baselines.dir/spdk_vhost.cc.o"
+  "CMakeFiles/bms_baselines.dir/spdk_vhost.cc.o.d"
+  "libbms_baselines.a"
+  "libbms_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bms_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

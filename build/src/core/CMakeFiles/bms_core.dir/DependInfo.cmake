@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ctrl/bms_controller.cc" "src/core/CMakeFiles/bms_core.dir/ctrl/bms_controller.cc.o" "gcc" "src/core/CMakeFiles/bms_core.dir/ctrl/bms_controller.cc.o.d"
+  "/root/repo/src/core/ctrl/hot_upgrade.cc" "src/core/CMakeFiles/bms_core.dir/ctrl/hot_upgrade.cc.o" "gcc" "src/core/CMakeFiles/bms_core.dir/ctrl/hot_upgrade.cc.o.d"
+  "/root/repo/src/core/ctrl/namespace_manager.cc" "src/core/CMakeFiles/bms_core.dir/ctrl/namespace_manager.cc.o" "gcc" "src/core/CMakeFiles/bms_core.dir/ctrl/namespace_manager.cc.o.d"
+  "/root/repo/src/core/engine/bms_engine.cc" "src/core/CMakeFiles/bms_core.dir/engine/bms_engine.cc.o" "gcc" "src/core/CMakeFiles/bms_core.dir/engine/bms_engine.cc.o.d"
+  "/root/repo/src/core/engine/host_adaptor.cc" "src/core/CMakeFiles/bms_core.dir/engine/host_adaptor.cc.o" "gcc" "src/core/CMakeFiles/bms_core.dir/engine/host_adaptor.cc.o.d"
+  "/root/repo/src/core/engine/lba_map.cc" "src/core/CMakeFiles/bms_core.dir/engine/lba_map.cc.o" "gcc" "src/core/CMakeFiles/bms_core.dir/engine/lba_map.cc.o.d"
+  "/root/repo/src/core/engine/qos.cc" "src/core/CMakeFiles/bms_core.dir/engine/qos.cc.o" "gcc" "src/core/CMakeFiles/bms_core.dir/engine/qos.cc.o.d"
+  "/root/repo/src/core/engine/target_controller.cc" "src/core/CMakeFiles/bms_core.dir/engine/target_controller.cc.o" "gcc" "src/core/CMakeFiles/bms_core.dir/engine/target_controller.cc.o.d"
+  "/root/repo/src/core/mgmt/mctp.cc" "src/core/CMakeFiles/bms_core.dir/mgmt/mctp.cc.o" "gcc" "src/core/CMakeFiles/bms_core.dir/mgmt/mctp.cc.o.d"
+  "/root/repo/src/core/mgmt/mgmt_console.cc" "src/core/CMakeFiles/bms_core.dir/mgmt/mgmt_console.cc.o" "gcc" "src/core/CMakeFiles/bms_core.dir/mgmt/mgmt_console.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nvme/CMakeFiles/bms_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/bms_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bms_core.dir/ctrl/bms_controller.cc.o"
+  "CMakeFiles/bms_core.dir/ctrl/bms_controller.cc.o.d"
+  "CMakeFiles/bms_core.dir/ctrl/hot_upgrade.cc.o"
+  "CMakeFiles/bms_core.dir/ctrl/hot_upgrade.cc.o.d"
+  "CMakeFiles/bms_core.dir/ctrl/namespace_manager.cc.o"
+  "CMakeFiles/bms_core.dir/ctrl/namespace_manager.cc.o.d"
+  "CMakeFiles/bms_core.dir/engine/bms_engine.cc.o"
+  "CMakeFiles/bms_core.dir/engine/bms_engine.cc.o.d"
+  "CMakeFiles/bms_core.dir/engine/host_adaptor.cc.o"
+  "CMakeFiles/bms_core.dir/engine/host_adaptor.cc.o.d"
+  "CMakeFiles/bms_core.dir/engine/lba_map.cc.o"
+  "CMakeFiles/bms_core.dir/engine/lba_map.cc.o.d"
+  "CMakeFiles/bms_core.dir/engine/qos.cc.o"
+  "CMakeFiles/bms_core.dir/engine/qos.cc.o.d"
+  "CMakeFiles/bms_core.dir/engine/target_controller.cc.o"
+  "CMakeFiles/bms_core.dir/engine/target_controller.cc.o.d"
+  "CMakeFiles/bms_core.dir/mgmt/mctp.cc.o"
+  "CMakeFiles/bms_core.dir/mgmt/mctp.cc.o.d"
+  "CMakeFiles/bms_core.dir/mgmt/mgmt_console.cc.o"
+  "CMakeFiles/bms_core.dir/mgmt/mgmt_console.cc.o.d"
+  "libbms_core.a"
+  "libbms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

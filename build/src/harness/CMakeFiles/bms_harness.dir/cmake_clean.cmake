@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bms_harness.dir/runner.cc.o"
+  "CMakeFiles/bms_harness.dir/runner.cc.o.d"
+  "CMakeFiles/bms_harness.dir/testbeds.cc.o"
+  "CMakeFiles/bms_harness.dir/testbeds.cc.o.d"
+  "libbms_harness.a"
+  "libbms_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bms_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/nvme_driver.cc" "src/host/CMakeFiles/bms_host.dir/nvme_driver.cc.o" "gcc" "src/host/CMakeFiles/bms_host.dir/nvme_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nvme/CMakeFiles/bms_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/bms_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

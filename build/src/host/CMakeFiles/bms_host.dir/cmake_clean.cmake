@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bms_host.dir/nvme_driver.cc.o"
+  "CMakeFiles/bms_host.dir/nvme_driver.cc.o.d"
+  "libbms_host.a"
+  "libbms_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bms_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvme/controller.cc" "src/nvme/CMakeFiles/bms_nvme.dir/controller.cc.o" "gcc" "src/nvme/CMakeFiles/bms_nvme.dir/controller.cc.o.d"
+  "/root/repo/src/nvme/prp.cc" "src/nvme/CMakeFiles/bms_nvme.dir/prp.cc.o" "gcc" "src/nvme/CMakeFiles/bms_nvme.dir/prp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/bms_pcie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

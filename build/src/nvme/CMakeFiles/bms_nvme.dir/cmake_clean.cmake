@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bms_nvme.dir/controller.cc.o"
+  "CMakeFiles/bms_nvme.dir/controller.cc.o.d"
+  "CMakeFiles/bms_nvme.dir/prp.cc.o"
+  "CMakeFiles/bms_nvme.dir/prp.cc.o.d"
+  "libbms_nvme.a"
+  "libbms_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bms_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

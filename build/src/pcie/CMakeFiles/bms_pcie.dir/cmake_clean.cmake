@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bms_pcie.dir/root_port.cc.o"
+  "CMakeFiles/bms_pcie.dir/root_port.cc.o.d"
+  "libbms_pcie.a"
+  "libbms_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bms_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

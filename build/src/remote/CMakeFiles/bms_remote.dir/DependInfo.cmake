@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/remote/remote_device.cc" "src/remote/CMakeFiles/bms_remote.dir/remote_device.cc.o" "gcc" "src/remote/CMakeFiles/bms_remote.dir/remote_device.cc.o.d"
+  "/root/repo/src/remote/storage_server.cc" "src/remote/CMakeFiles/bms_remote.dir/storage_server.cc.o" "gcc" "src/remote/CMakeFiles/bms_remote.dir/storage_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/bms_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/bms_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/bms_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/bms_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/bms_ssd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

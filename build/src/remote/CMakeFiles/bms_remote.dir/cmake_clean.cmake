@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bms_remote.dir/remote_device.cc.o"
+  "CMakeFiles/bms_remote.dir/remote_device.cc.o.d"
+  "CMakeFiles/bms_remote.dir/storage_server.cc.o"
+  "CMakeFiles/bms_remote.dir/storage_server.cc.o.d"
+  "libbms_remote.a"
+  "libbms_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bms_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

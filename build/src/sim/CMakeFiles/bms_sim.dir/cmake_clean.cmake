@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bms_sim.dir/event_queue.cc.o"
+  "CMakeFiles/bms_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/bms_sim.dir/log.cc.o"
+  "CMakeFiles/bms_sim.dir/log.cc.o.d"
+  "CMakeFiles/bms_sim.dir/random.cc.o"
+  "CMakeFiles/bms_sim.dir/random.cc.o.d"
+  "CMakeFiles/bms_sim.dir/stats.cc.o"
+  "CMakeFiles/bms_sim.dir/stats.cc.o.d"
+  "libbms_sim.a"
+  "libbms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbms_sim.a"
+)

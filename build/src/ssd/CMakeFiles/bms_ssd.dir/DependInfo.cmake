@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/hdd_model.cc" "src/ssd/CMakeFiles/bms_ssd.dir/hdd_model.cc.o" "gcc" "src/ssd/CMakeFiles/bms_ssd.dir/hdd_model.cc.o.d"
+  "/root/repo/src/ssd/media_model.cc" "src/ssd/CMakeFiles/bms_ssd.dir/media_model.cc.o" "gcc" "src/ssd/CMakeFiles/bms_ssd.dir/media_model.cc.o.d"
+  "/root/repo/src/ssd/ssd_device.cc" "src/ssd/CMakeFiles/bms_ssd.dir/ssd_device.cc.o" "gcc" "src/ssd/CMakeFiles/bms_ssd.dir/ssd_device.cc.o.d"
+  "/root/repo/src/ssd/zns.cc" "src/ssd/CMakeFiles/bms_ssd.dir/zns.cc.o" "gcc" "src/ssd/CMakeFiles/bms_ssd.dir/zns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nvme/CMakeFiles/bms_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/bms_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bms_ssd.dir/hdd_model.cc.o"
+  "CMakeFiles/bms_ssd.dir/hdd_model.cc.o.d"
+  "CMakeFiles/bms_ssd.dir/media_model.cc.o"
+  "CMakeFiles/bms_ssd.dir/media_model.cc.o.d"
+  "CMakeFiles/bms_ssd.dir/ssd_device.cc.o"
+  "CMakeFiles/bms_ssd.dir/ssd_device.cc.o.d"
+  "CMakeFiles/bms_ssd.dir/zns.cc.o"
+  "CMakeFiles/bms_ssd.dir/zns.cc.o.d"
+  "libbms_ssd.a"
+  "libbms_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bms_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

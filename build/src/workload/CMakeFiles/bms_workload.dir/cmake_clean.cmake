@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bms_workload.dir/fio.cc.o"
+  "CMakeFiles/bms_workload.dir/fio.cc.o.d"
+  "CMakeFiles/bms_workload.dir/trace.cc.o"
+  "CMakeFiles/bms_workload.dir/trace.cc.o.d"
+  "libbms_workload.a"
+  "libbms_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bms_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/global_prp_test.cc" "tests/CMakeFiles/global_prp_test.dir/global_prp_test.cc.o" "gcc" "tests/CMakeFiles/global_prp_test.dir/global_prp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bms_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/bms_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/bms_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/bms_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/bms_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bms_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/bms_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/bms_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/bms_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

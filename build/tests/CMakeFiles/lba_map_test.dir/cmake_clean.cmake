@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lba_map_test.dir/lba_map_test.cc.o"
+  "CMakeFiles/lba_map_test.dir/lba_map_test.cc.o.d"
+  "lba_map_test"
+  "lba_map_test.pdb"
+  "lba_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lba_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgmt_test.dir/mgmt_test.cc.o"
+  "CMakeFiles/mgmt_test.dir/mgmt_test.cc.o.d"
+  "mgmt_test"
+  "mgmt_test.pdb"
+  "mgmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhost_test.dir/vhost_test.cc.o"
+  "CMakeFiles/vhost_test.dir/vhost_test.cc.o.d"
+  "vhost_test"
+  "vhost_test.pdb"
+  "vhost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

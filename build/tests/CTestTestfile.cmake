@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/nvme_test[1]_include.cmake")
+include("/root/repo/build/tests/lba_map_test[1]_include.cmake")
+include("/root/repo/build/tests/global_prp_test[1]_include.cmake")
+include("/root/repo/build/tests/qos_test[1]_include.cmake")
+include("/root/repo/build/tests/pcie_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_test[1]_include.cmake")
+include("/root/repo/build/tests/ssd_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/mgmt_test[1]_include.cmake")
+include("/root/repo/build/tests/availability_test[1]_include.cmake")
+include("/root/repo/build/tests/vhost_test[1]_include.cmake")
+include("/root/repo/build/tests/fio_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/tco_test[1]_include.cmake")
+include("/root/repo/build/tests/hdd_test[1]_include.cmake")
+include("/root/repo/build/tests/remote_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptor_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/zns_test[1]_include.cmake")
