@@ -27,8 +27,9 @@ struct Point
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     // Native reference.
     harness::TestbedConfig ncfg;
     ncfg.ssdCount = 1;

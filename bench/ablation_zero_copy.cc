@@ -34,8 +34,9 @@ run(bool zero_copy, const workload::FioJobSpec &spec)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     harness::Table t({"case", "zero-copy IOPS", "store-fwd IOPS",
                       "zero-copy AL(us)", "store-fwd AL(us)",
                       "latency penalty"});

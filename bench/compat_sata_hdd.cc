@@ -32,8 +32,9 @@ run(bool hdd, workload::FioJobSpec spec)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     harness::Table t({"case", "P4510 SSD IOPS", "SSD MB/s",
                       "SATA HDD IOPS", "HDD MB/s"});
     for (auto spec : workload::fioTableIv()) {

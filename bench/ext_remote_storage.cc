@@ -18,8 +18,9 @@
 using namespace bms;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     harness::TestbedConfig cfg;
     cfg.ssdCount = 2;
     harness::BmStoreTestbed bed(cfg);

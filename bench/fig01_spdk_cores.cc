@@ -60,8 +60,9 @@ vhostBandwidth(int cores, const workload::FioJobSpec &spec)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     // The paper's caption: seq read 128K, qd 256, 4 threads (per VM
     // disk); guests use multi-queue virtio, so every extra bound core
     // picks up rings until the SSDs saturate.

@@ -17,8 +17,9 @@
 using namespace bms;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     std::vector<workload::FioJobSpec> cases = workload::fioTableIv();
 
     harness::Table perf({"case", "native IOPS", "bms IOPS", "ratio",

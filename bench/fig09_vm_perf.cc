@@ -55,8 +55,9 @@ runVhost(const workload::FioJobSpec &spec)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     harness::Table perf({"case", "VFIO IOPS", "BMS IOPS", "vhost IOPS",
                          "BMS/VFIO", "vhost/VFIO", "VFIO MB/s",
                          "BMS MB/s", "vhost MB/s"});

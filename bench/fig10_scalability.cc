@@ -15,8 +15,9 @@
 using namespace bms;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     workload::FioJobSpec spec = workload::fioSeqR256();
 
     harness::Table t({"SSDs", "total BW (GB/s)", "scaling vs 1 SSD"});

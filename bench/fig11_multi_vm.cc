@@ -17,8 +17,9 @@
 using namespace bms;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     workload::FioJobSpec spec = workload::fioSeqR256();
     spec.numjobs = 1;
     spec.iodepth = 256;

@@ -14,8 +14,9 @@
 using namespace bms;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     harness::Table t({"case", "VM", "p50(us)", "p99(us)", "p99.9(us)",
                       "avg(us)"});
     for (auto spec : workload::fioTableIv()) {

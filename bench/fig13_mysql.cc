@@ -94,8 +94,9 @@ runVhost()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     AppResult vfio = runVfio();
     AppResult bms = runBms();
     AppResult vhost = runVhost();

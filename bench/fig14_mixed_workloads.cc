@@ -141,8 +141,9 @@ runVhost()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     MixedResult vfio = runVfio();
     MixedResult bms = runBms();
     MixedResult vhost = runVhost();

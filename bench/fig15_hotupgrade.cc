@@ -97,8 +97,9 @@ printTimeline(const char *title, const UpgradeRun &run)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     UpgradeRun rd = runCase(workload::FioPattern::RandRead, "rand-read");
     UpgradeRun wr = runCase(workload::FioPattern::RandWrite,
                             "rand-write");

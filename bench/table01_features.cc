@@ -13,8 +13,9 @@
 using namespace bms;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     harness::Table t({"property", "MDev", "SPDK vhost", "SR-IOV",
                       "LeapIO", "FVM", "BM-Store"});
     t.addRow({"Host efficiency", "-", "-", "yes", "yes", "yes", "yes"});

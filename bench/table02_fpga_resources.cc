@@ -13,8 +13,9 @@
 using namespace bms;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     core::FpgaResourceModel model;
     core::FpgaDevice device;
 

@@ -20,8 +20,9 @@
 using namespace bms;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     struct Platform
     {
         host::PlatformProfile profile;

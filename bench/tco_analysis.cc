@@ -12,8 +12,9 @@
 using namespace bms;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bms::harness::applyCommonFlags(argc, argv);
     harness::TcoInputs in;
     harness::TcoResult spdk = harness::tcoSpdk(in);
     harness::TcoResult bms = harness::tcoBmStore(in);

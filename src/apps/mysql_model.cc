@@ -1,6 +1,5 @@
 #include "apps/mysql_model.hh"
 
-#include <cassert>
 #include <utility>
 
 namespace bms::apps {
@@ -17,11 +16,11 @@ MySqlModel::MySqlModel(sim::Simulator &sim, std::string name,
 {
     _dbPages = cfg.dbBytes / cfg.pageBytes;
     _poolPages = cfg.bufferPoolBytes / cfg.pageBytes;
-    assert(_dbPages > _poolPages && "database must exceed buffer pool");
+    BMS_ASSERT(_dbPages > _poolPages,
+               "database must exceed buffer pool");
     // Device layout: [data pages][redo log region].
-    assert(dev.capacityBytes() >
-               cfg.dbBytes + _logRegionBytes &&
-           "device too small for database + redo log");
+    BMS_ASSERT(dev.capacityBytes() > cfg.dbBytes + _logRegionBytes,
+               "device too small for database + redo log");
     _logRegion = cfg.dbBytes;
     // Background flusher.
     schedule(_cfg.flushPeriod, [this] { flushTick(); });

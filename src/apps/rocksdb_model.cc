@@ -1,6 +1,5 @@
 #include "apps/rocksdb_model.hh"
 
-#include <cassert>
 #include <utility>
 #include <vector>
 
@@ -16,7 +15,8 @@ RocksDbModel::RocksDbModel(sim::Simulator &sim, std::string name,
       _rng(sim.rng().fork())
 {
     // Layout: [WAL 1 GiB][SST region = rest].
-    assert(dev.capacityBytes() > sim::gib(2));
+    BMS_ASSERT(dev.capacityBytes() > sim::gib(2),
+               "device too small for WAL + SST regions");
     _sstRegion = sim::gib(1);
     _sstBytes = dev.capacityBytes() - _sstRegion;
 }
@@ -182,6 +182,8 @@ RocksDbModel::backgroundIo(std::uint64_t read_bytes,
         int inflight = 0;
         std::function<void()> done;
     };
+    BMS_ASSERT(read_bytes > 0 || write_bytes > 0,
+               "background IO with no bytes would drop its completion");
     auto st = std::make_shared<State>();
     st->readLeft = read_bytes;
     st->writeLeft = write_bytes;
@@ -207,7 +209,13 @@ RocksDbModel::backgroundIo(std::uint64_t read_bytes,
                 --st->inflight;
                 if (st->readLeft == 0 && st->writeLeft == 0 &&
                     st->inflight == 0) {
-                    st->done();
+                    auto fin = std::move(st->done);
+                    // Break the pump→pump reference cycle (it would
+                    // leak the closure and everything it captures);
+                    // safe here because this completion callback is a
+                    // separate function object from *pump.
+                    *pump = nullptr;
+                    fin();
                     return;
                 }
                 (*pump)();

@@ -1,6 +1,5 @@
 #include "apps/ycsb.hh"
 
-#include <cassert>
 #include <utility>
 
 namespace bms::apps {
@@ -26,8 +25,7 @@ YcsbDriver::readFraction(char workload)
       case 'C':
         return 1.0;
       default:
-        assert(false && "unsupported YCSB workload");
-        return 1.0;
+        BMS_PANIC("unsupported YCSB workload");
     }
 }
 

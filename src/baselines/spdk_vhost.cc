@@ -1,6 +1,5 @@
 #include "baselines/spdk_vhost.hh"
 
-#include <cassert>
 #include <utility>
 
 namespace bms::baselines {
@@ -9,7 +8,7 @@ SpdkVhostTarget::SpdkVhostTarget(sim::Simulator &sim, std::string name,
                                  Config cfg)
     : SimObject(sim, std::move(name)), _cfg(cfg)
 {
-    assert(cfg.cores >= 1);
+    BMS_ASSERT(cfg.cores >= 1, "vhost target needs a reactor core");
     _reactors.resize(static_cast<std::size_t>(cfg.cores));
     registerStat("served", [this] { return double(_served); });
     registerStat("cores", [this] { return double(_cfg.cores); });

@@ -1,7 +1,6 @@
 #include "core/ctrl/namespace_manager.hh"
 
 #include <algorithm>
-#include <cassert>
 
 namespace bms::core {
 
@@ -115,8 +114,7 @@ NamespaceManager::createAndAttach(pcie::FunctionId fn, std::uint64_t bytes,
         _engine.bind(fn, nsid, bytes / nvme::kBlockSize, geom);
     for (const Allocation &a : *allocs) {
         auto pos = binding.map.appendChunk(a.chunk, a.slot);
-        assert(pos && "mapping table full despite size check");
-        (void)pos;
+        BMS_ASSERT(pos, "mapping table full despite size check");
     }
     if (!qos.unlimited())
         _engine.setQos(fn, nsid, qos);

@@ -1,6 +1,5 @@
 #include "core/engine/bms_engine.hh"
 
-#include <cassert>
 #include <utility>
 
 namespace bms::core {
@@ -83,9 +82,10 @@ BmsEngine::bind(pcie::FunctionId fn, std::uint32_t nsid,
     info.sizeBlocks = size_blocks;
     auto binding = std::make_unique<NsBinding>(fn, nsid, info, geom);
     std::uint32_t key = binding->key();
-    assert(!_bindings.count(key) && "namespace already bound");
-    assert(size_blocks <= geom.capacityBlocks() &&
-           "namespace larger than its mapping table");
+    BMS_ASSERT(!_bindings.count(key),
+               "namespace already bound: fn=", fn, " nsid=", nsid);
+    BMS_ASSERT_LE(size_blocks, geom.capacityBlocks(),
+                  "namespace larger than its mapping table");
     NsBinding &ref = *binding;
     _bindings.emplace(key, std::move(binding));
     _functions.at(fn)->addNamespace(info);

@@ -13,10 +13,10 @@
 #ifndef BMS_CORE_ENGINE_CHIP_MEMORY_HH
 #define BMS_CORE_ENGINE_CHIP_MEMORY_HH
 
-#include <cassert>
 #include <cstdint>
 
 #include "pcie/types.hh"
+#include "sim/check.hh"
 #include "sim/sparse_memory.hh"
 
 namespace bms::core {
@@ -39,7 +39,8 @@ class ChipMemory : public pcie::MemoryIf
     void
     read(std::uint64_t addr, std::uint32_t len, std::uint8_t *out) override
     {
-        assert(contains(addr));
+        BMS_ASSERT(contains(addr),
+                   "chip-memory read outside window: addr=", addr);
         _mem.read(addr - kWindowBase, len, out);
     }
 
@@ -47,7 +48,8 @@ class ChipMemory : public pcie::MemoryIf
     write(std::uint64_t addr, std::uint32_t len,
           const std::uint8_t *data) override
     {
-        assert(contains(addr));
+        BMS_ASSERT(contains(addr),
+                   "chip-memory write outside window: addr=", addr);
         _mem.write(addr - kWindowBase, len, data);
     }
 
@@ -55,11 +57,12 @@ class ChipMemory : public pcie::MemoryIf
     std::uint64_t
     alloc(std::uint64_t len, std::uint64_t align = 64)
     {
-        assert(align && (align & (align - 1)) == 0);
+        BMS_ASSERT(align && (align & (align - 1)) == 0,
+                   "alignment must be a power of two: ", align);
         _next = (_next + align - 1) & ~(align - 1);
         std::uint64_t addr = kWindowBase + _next;
         _next += len;
-        assert(_next < kWindowSize && "chip memory exhausted");
+        BMS_ASSERT_LT(_next, kWindowSize, "chip memory exhausted");
         return addr;
     }
 

@@ -26,6 +26,7 @@
 #include <cstdint>
 
 #include "pcie/types.hh"
+#include "sim/check.hh"
 
 namespace bms::core {
 
@@ -48,6 +49,12 @@ struct GlobalPrp
     static std::uint64_t
     encode(std::uint64_t host_addr, pcie::FunctionId fn, bool is_list)
     {
+        // Masking would silently corrupt the rewrite; both fields must
+        // fit or the SSD would DMA to the wrong host address/function.
+        BMS_ASSERT_EQ(host_addr & ~kAddrMask, 0u,
+                      "host address overflows the 48-bit PRP field");
+        BMS_ASSERT_LE(static_cast<std::uint64_t>(fn), kFnMask,
+                      "function id overflows the 7-bit PRP field");
         std::uint64_t v = host_addr & kAddrMask;
         v |= (static_cast<std::uint64_t>(fn) & kFnMask) << kFnShift;
         if (is_list)
@@ -73,6 +80,23 @@ struct GlobalPrp
     static std::uint64_t originalAddr(std::uint64_t prp)
     {
         return prp & kAddrMask;
+    }
+
+    /**
+     * Self-check for one engine-rewritten entry (BMS_ASSERT on
+     * violation): decode → re-encode must round-trip, which pins the
+     * reserved bits [55:48] to zero so they can never leak into the
+     * SSD-visible address. The DMA router runs this per routed TLP
+     * under Check::paranoid(); tests call it directly.
+     */
+    static void
+    checkInvariants(std::uint64_t prp)
+    {
+        BMS_ASSERT_EQ((prp >> 48) & 0xff, 0u,
+                      "reserved PRP bits [55:48] are set");
+        BMS_ASSERT_EQ(encode(originalAddr(prp), functionOf(prp),
+                             listFlag(prp)),
+                      prp, "global PRP does not round-trip");
     }
 };
 

@@ -1,11 +1,11 @@
 #include "core/engine/host_adaptor.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 #include <utility>
 
 #include "core/engine/global_prp.hh"
+#include "sim/check.hh"
 
 namespace bms::core {
 
@@ -37,7 +37,8 @@ HostAdaptor::HostAdaptor(sim::Simulator &sim, std::string name,
 void
 HostAdaptor::attachSsd(pcie::PcieDeviceIf &ssd)
 {
-    assert(!_ssd && "back-end slot already occupied");
+    BMS_ASSERT(!_ssd, "back-end slot ", int(_slot),
+               " already occupied");
     _ssd = &ssd;
     ssd.attached(*this);
 }
@@ -45,7 +46,7 @@ HostAdaptor::attachSsd(pcie::PcieDeviceIf &ssd)
 void
 HostAdaptor::detachSsd()
 {
-    assert(_inflight == 0 && "detach with I/O in flight");
+    BMS_ASSERT_EQ(_inflight, 0u, "detach with I/O in flight");
     _ssd = nullptr;
     _ready = false;
 }
@@ -53,7 +54,7 @@ HostAdaptor::detachSsd()
 void
 HostAdaptor::ssdMmio(std::uint64_t offset, std::uint64_t value)
 {
-    assert(_ssd);
+    BMS_ASSERT(_ssd, "MMIO write to empty back-end slot");
     sim::Tick arrive = _backLink.down().controlArrival(now());
     pcie::PcieDeviceIf *ssd = _ssd;
     sim().scheduleAt(arrive, [ssd, offset, value] {
@@ -64,7 +65,7 @@ HostAdaptor::ssdMmio(std::uint64_t offset, std::uint64_t value)
 void
 HostAdaptor::init(std::function<void()> ready)
 {
-    assert(_ssd && "no SSD in slot");
+    BMS_ASSERT(_ssd, "bring-up with no SSD in slot");
     // Fresh rings each bring-up (hot-plug replaces the whole state).
     _admin = Ring{};
     _admin.depth = 32;
@@ -103,7 +104,7 @@ HostAdaptor::init(std::function<void()> ready)
     id.prp1 = id_page;
     adminCommand(id, [this, id_page, ready = std::move(ready)](
                          const Cqe &cqe) {
-        assert(cqe.ok() && "back-end identify failed");
+        BMS_ASSERT(cqe.ok(), "back-end identify failed");
         std::uint8_t raw[8];
         _chip.read(id_page, 8, raw);
         std::uint64_t nsze;
@@ -117,8 +118,7 @@ HostAdaptor::init(std::function<void()> ready)
         ccq.cdw10 = (static_cast<std::uint32_t>(_io.depth - 1) << 16) | 1;
         ccq.cdw11 = (1u << 16) | 0x3; // vector 1, IEN, PC
         adminCommand(ccq, [this, ready](const Cqe &c1) {
-            assert(c1.ok());
-            (void)c1;
+            BMS_ASSERT(c1.ok(), "back-end CreateIoCq failed");
             Sqe csq;
             csq.opcode =
                 static_cast<std::uint8_t>(nvme::AdminOpcode::CreateIoSq);
@@ -127,8 +127,7 @@ HostAdaptor::init(std::function<void()> ready)
                 (static_cast<std::uint32_t>(_io.depth - 1) << 16) | 1;
             csq.cdw11 = (1u << 16) | 0x1; // CQ 1, PC
             adminCommand(csq, [this, ready](const Cqe &c2) {
-                assert(c2.ok());
-                (void)c2;
+                BMS_ASSERT(c2.ok(), "back-end CreateIoSq failed");
                 _ready = true;
                 logInfo("back-end SSD ready, capacity ",
                         _capacity / sim::kGiB, " GiB");
@@ -141,7 +140,7 @@ HostAdaptor::init(std::function<void()> ready)
 void
 HostAdaptor::submitIo(const Sqe &sqe, CqeHandler done)
 {
-    assert(_ready);
+    BMS_ASSERT(_ready, "I/O submitted before back-end bring-up");
     push(_io, 1, sqe, std::move(done));
 }
 
@@ -176,8 +175,7 @@ HostAdaptor::push(Ring &ring, std::uint16_t qid, Sqe sqe, CqeHandler done)
 void
 HostAdaptor::msix(pcie::FunctionId fn, std::uint16_t vector)
 {
-    assert(fn == 0);
-    (void)fn;
+    BMS_ASSERT_EQ(fn, 0, "back-end SSD is single-function");
     sim::Tick arrive = _backLink.up().controlArrival(now());
     sim().scheduleAt(arrive, [this, vector] {
         if (vector == 0)
@@ -205,11 +203,13 @@ HostAdaptor::scanCq(Ring &ring, std::uint16_t qid)
             ring.cqPhase = !ring.cqPhase;
         any = true;
 
-        assert(cqe.cid < ring.pending.size());
+        BMS_ASSERT_LT(cqe.cid, ring.pending.size(),
+                      "completion for unknown cid");
         CqeHandler handler = std::move(ring.pending[cqe.cid]);
         ring.pending[cqe.cid] = nullptr;
         ring.freeCids.push_back(cqe.cid);
-        assert(_inflight > 0);
+        BMS_ASSERT(_inflight > 0,
+                   "completion with no I/O in flight");
         --_inflight;
         if (&ring == &_io)
             ++_completedIos;
@@ -316,7 +316,9 @@ HostAdaptor::routeToHost(bool to_host, std::uint64_t addr,
                          const std::uint8_t *wbuf,
                          std::function<void()> done)
 {
-    assert(_hostUp && "engine not attached to host");
+    BMS_ASSERT(_hostUp, "engine not attached to host");
+    if (sim::Check::paranoid())
+        GlobalPrp::checkInvariants(addr);
     std::uint64_t orig = GlobalPrp::originalAddr(addr);
     // The function id recovered from the TLP address selects the host
     // PF/VF. The host root port routes by address in this model, so

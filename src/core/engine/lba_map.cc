@@ -1,6 +1,6 @@
 #include "core/engine/lba_map.hh"
 
-#include <cassert>
+#include "sim/check.hh"
 
 namespace bms::core {
 
@@ -9,10 +9,12 @@ LbaMapTable::LbaMapTable(LbaMapGeometry geom)
       _entries(static_cast<std::size_t>(geom.rows) * geom.entriesPerRow, 0),
       _validation(geom.rows, 0)
 {
-    assert(geom.rows > 0 && geom.entriesPerRow > 0);
-    assert(geom.entriesPerRow <= 8 &&
-           "validation vector is an 8-bit field per row (Fig. 4(a))");
-    assert(geom.chunkBlocks > 0);
+    BMS_ASSERT(geom.rows > 0 && geom.entriesPerRow > 0,
+               "degenerate mapping-table geometry: rows=", geom.rows,
+               " entriesPerRow=", geom.entriesPerRow);
+    BMS_ASSERT_LE(geom.entriesPerRow, 8u,
+                  "validation vector is an 8-bit field per row (Fig. 4(a))");
+    BMS_ASSERT(geom.chunkBlocks > 0, "chunk size must be non-zero");
 }
 
 bool
@@ -26,6 +28,8 @@ LbaMapTable::setEntry(std::uint32_t row, std::uint32_t col,
     _entries[row * _geom.entriesPerRow + col] =
         static_cast<std::uint8_t>((chunk_base << kBaseShift) | ssd_id);
     _validation[row] |= static_cast<std::uint8_t>(1u << col);
+    if (sim::Check::paranoid())
+        checkInvariants();
     return true;
 }
 
@@ -35,19 +39,23 @@ LbaMapTable::invalidate(std::uint32_t row, std::uint32_t col)
     if (row >= _geom.rows || col >= _geom.entriesPerRow)
         return;
     _validation[row] &= static_cast<std::uint8_t>(~(1u << col));
+    if (sim::Check::paranoid())
+        checkInvariants();
 }
 
 std::uint8_t
 LbaMapTable::rawEntry(std::uint32_t row, std::uint32_t col) const
 {
-    assert(row < _geom.rows && col < _geom.entriesPerRow);
+    BMS_ASSERT(row < _geom.rows && col < _geom.entriesPerRow,
+               "entry (", row, ",", col, ") outside ", _geom.rows, "x",
+               _geom.entriesPerRow, " table");
     return _entries[row * _geom.entriesPerRow + col];
 }
 
 std::uint8_t
 LbaMapTable::validationVector(std::uint32_t row) const
 {
-    assert(row < _geom.rows);
+    BMS_ASSERT_LT(row, _geom.rows, "validation-vector row out of range");
     return _validation[row];
 }
 
@@ -103,6 +111,32 @@ LbaMapTable::validCount() const
             if (entryValid(row, col))
                 ++n;
     return n;
+}
+
+void
+LbaMapTable::checkInvariants() const
+{
+    // Valid (ssd, chunk base) pairs, for the overlap check below. The
+    // whole space is 2 bits x 6 bits = 256 combinations.
+    bool seen[256] = {};
+    for (std::uint32_t row = 0; row < _geom.rows; ++row) {
+        BMS_ASSERT_EQ(_validation[row] >> _geom.entriesPerRow, 0,
+                      "validation vector of row ", row,
+                      " has bits set beyond entriesPerRow=",
+                      _geom.entriesPerRow);
+        for (std::uint32_t col = 0; col < _geom.entriesPerRow; ++col) {
+            if (!(_validation[row] & (1u << col)))
+                continue;
+            std::uint8_t entry = _entries[row * _geom.entriesPerRow + col];
+            if (seen[entry]) {
+                BMS_PANIC("two valid entries map the same chunk: ssd=",
+                          entry & kSsdIdMask, " base=",
+                          entry >> kBaseShift, " (second at row=", row,
+                          " col=", col, ")");
+            }
+            seen[entry] = true;
+        }
+    }
 }
 
 } // namespace bms::core

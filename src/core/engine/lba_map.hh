@@ -100,6 +100,16 @@ class LbaMapTable
     /** Number of valid entries (mapped chunks). */
     std::uint32_t validCount() const;
 
+    /**
+     * Structure-wide self-check (BMS_ASSERT on violation):
+     *  - validation-vector bits beyond entriesPerRow are never set;
+     *  - no two valid entries map the same physical chunk (overlapping
+     *    64 GiB regions on one SSD would corrupt tenant data).
+     * Runs after every mutation under Check::paranoid(); tests call it
+     * directly.
+     */
+    void checkInvariants() const;
+
   private:
     static constexpr std::uint8_t kSsdIdMask = 0x03;  // bits [1:0]
     static constexpr std::uint8_t kBaseShift = 2;     // bits [7:2]

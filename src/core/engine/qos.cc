@@ -1,7 +1,8 @@
 #include "core/engine/qos.hh"
 
 #include <algorithm>
-#include <cassert>
+
+#include "sim/check.hh"
 
 namespace bms::core {
 
@@ -107,9 +108,14 @@ QosModule::submit(std::uint32_t ns_key, std::uint64_t bytes,
         return;
     }
     // Threshold reached: into the command buffer.
+    BMS_ASSERT_LT(ns.buffer.size(), kMaxBufferDepth,
+                  "command buffer of namespace key ", ns_key,
+                  " overflowed — dispatcher stalled?");
     ++_buffered;
     ns.buffer.emplace_back(bytes, std::move(forward));
     scheduleDispatch(ns_key);
+    if (sim::Check::paranoid())
+        checkInvariants();
 }
 
 void
@@ -129,12 +135,46 @@ QosModule::dispatch(std::uint32_t ns_key)
     NsState &ns = _ns[ns_key];
     ns.dispatchScheduled = false;
     refill(ns);
+    ++_dispatchDepth;
     while (!ns.buffer.empty() && tryConsume(ns, ns.buffer.front().first)) {
         auto forward = std::move(ns.buffer.front().second);
         ns.buffer.pop_front();
         forward();
     }
+    --_dispatchDepth;
     scheduleDispatch(ns_key);
+    if (sim::Check::paranoid())
+        checkInvariants();
+}
+
+void
+QosModule::checkInvariants() const
+{
+    sim::ScopedCheckComponent guard(name());
+    std::uint64_t waiting = 0;
+    for (const auto &[key, ns] : _ns) {
+        // Token credits are clamped at zero by tryConsume; a negative
+        // balance means a command was forwarded without paying.
+        BMS_ASSERT(ns.opsTokens >= 0.0, "negative IOPS credit ",
+                   ns.opsTokens, " for namespace key ", key);
+        BMS_ASSERT(ns.byteTokens >= 0.0, "negative byte credit ",
+                   ns.byteTokens, " for namespace key ", key);
+        BMS_ASSERT_LE(ns.buffer.size(), kMaxBufferDepth,
+                      "command buffer over capacity for namespace key ",
+                      key);
+        // Buffered commands must always have a dispatch on the way,
+        // except transiently while dispatch() itself is draining.
+        if (_dispatchDepth == 0 && !ns.buffer.empty()) {
+            BMS_ASSERT(ns.dispatchScheduled,
+                       "namespace key ", key, " has ", ns.buffer.size(),
+                       " buffered commands but no dispatch scheduled");
+        }
+        waiting += ns.buffer.size();
+    }
+    // _buffered counts buffer admissions cumulatively; everything
+    // still waiting must be covered by it.
+    BMS_ASSERT_LE(waiting, _buffered,
+                  "more commands waiting than were ever buffered");
 }
 
 } // namespace bms::core

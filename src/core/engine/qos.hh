@@ -41,6 +41,13 @@ struct QosLimits
 class QosModule : public sim::SimObject
 {
   public:
+    /**
+     * Command Buffer capacity per namespace (Fig. 5). The hardware
+     * buffer is finite; a namespace exceeding it means the dispatcher
+     * stopped draining — a modelling bug, not back-pressure.
+     */
+    static constexpr std::size_t kMaxBufferDepth = 64 * 1024;
+
     /** Key identifying a front-end namespace: (function id, nsid). */
     static std::uint32_t
     key(std::uint8_t fn, std::uint32_t nsid)
@@ -77,6 +84,17 @@ class QosModule : public sim::SimObject
     /** Commands currently waiting in a namespace's buffer. */
     std::size_t bufferDepth(std::uint32_t ns_key) const;
 
+    /**
+     * Structure-wide self-check (BMS_ASSERT on violation):
+     *  - token credits are never negative;
+     *  - no command buffer exceeds kMaxBufferDepth;
+     *  - a non-empty buffer always has a dispatch pending;
+     *  - the buffered counter covers every waiting command.
+     * Runs after submit/dispatch under Check::paranoid(); tests call
+     * it directly.
+     */
+    void checkInvariants() const;
+
   private:
     struct NsState
     {
@@ -97,6 +115,8 @@ class QosModule : public sim::SimObject
     std::unordered_map<std::uint32_t, NsState> _ns;
     std::uint64_t _passed = 0;
     std::uint64_t _buffered = 0;
+    /** >0 while dispatch() drains a buffer (re-entrant submits). */
+    int _dispatchDepth = 0;
 };
 
 } // namespace bms::core

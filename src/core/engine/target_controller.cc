@@ -1,6 +1,5 @@
 #include "core/engine/target_controller.hh"
 
-#include <cassert>
 #include <memory>
 #include <utility>
 
@@ -124,12 +123,12 @@ TargetController::dispatchExtents(FrontFunction &fn, const Sqe &sqe,
                                   std::vector<Extent> extents,
                                   std::vector<std::uint64_t> host_pages)
 {
-    assert(!extents.empty());
+    BMS_ASSERT(!extents.empty(), "I/O resolved to no extents");
     const pcie::FunctionId fn_id = fn.functionId();
     if (extents.size() > 1) {
         ++_split;
-        assert(sqe.prp1 % nvme::kPageSize == 0 &&
-               "chunk-straddling I/O requires page-aligned buffers");
+        BMS_ASSERT_EQ(sqe.prp1 % nvme::kPageSize, 0u,
+                      "chunk-straddling I/O requires page-aligned buffers");
     }
 
     auto remaining = std::make_shared<std::size_t>(extents.size());
@@ -193,7 +192,8 @@ TargetController::dispatchExtents(FrontFunction &fn, const Sqe &sqe,
             first_page = ext.byteOffset / nvme::kPageSize;
             std::size_t page_count =
                 (ext_len + nvme::kPageSize - 1) / nvme::kPageSize;
-            assert(first_page + page_count <= host_pages.size());
+            BMS_ASSERT_LE(first_page + page_count, host_pages.size(),
+                          "extent pages exceed rewritten PRP list");
             bsqe.prp1 = GlobalPrp::encode(host_pages[first_page], fn_id,
                                           false);
             if (page_count == 1) {

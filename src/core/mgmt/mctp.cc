@@ -1,6 +1,5 @@
 #include "core/mgmt/mctp.hh"
 
-#include <cassert>
 #include <utility>
 
 namespace bms::core {
@@ -8,7 +7,8 @@ namespace bms::core {
 void
 MctpChannel::bind(MctpEndpoint &ep)
 {
-    assert(!_endpoints.count(ep.eid()) && "duplicate EID on channel");
+    BMS_ASSERT(!_endpoints.count(ep.eid()),
+               "duplicate EID ", ep.eid(), " on channel");
     _endpoints[ep.eid()] = &ep;
     ep.attachChannel(*this);
 }
@@ -37,7 +37,7 @@ void
 MctpEndpoint::sendMessage(Eid dest, MctpMsgType type,
                           const std::vector<std::uint8_t> &msg)
 {
-    assert(_channel && "endpoint not attached to a channel");
+    BMS_ASSERT(_channel, "endpoint not attached to a channel");
     ++_sent;
     std::size_t off = 0;
     std::uint8_t seq = 0;

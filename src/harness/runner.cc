@@ -1,12 +1,37 @@
 #include "harness/runner.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 
+#include "sim/check.hh"
+#include "sim/log.hh"
+
 namespace bms::harness {
+
+void
+applyCommonFlags(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--paranoid") == 0) {
+            sim::Check::setParanoid(true);
+        } else if (std::strncmp(argv[i], "--log=", 6) == 0) {
+            const char *lvl = argv[i] + 6;
+            if (std::strcmp(lvl, "warn") == 0)
+                sim::Log::setLevel(sim::LogLevel::Warn);
+            else if (std::strcmp(lvl, "info") == 0)
+                sim::Log::setLevel(sim::LogLevel::Info);
+            else if (std::strcmp(lvl, "debug") == 0)
+                sim::Log::setLevel(sim::LogLevel::Debug);
+            else if (std::strcmp(lvl, "trace") == 0)
+                sim::Log::setLevel(sim::LogLevel::Trace);
+            else
+                std::fprintf(stderr, "unknown log level '%s'\n", lvl);
+        }
+    }
+}
 
 workload::FioResult
 runFio(sim::Simulator &sim, host::BlockDeviceIf &dev,
@@ -17,7 +42,8 @@ runFio(sim::Simulator &sim, host::BlockDeviceIf &dev,
                                       spec);
     runner->start();
     while (!runner->finished()) {
-        assert(!sim.queue().empty() && "fio run stalled: no events left");
+        BMS_ASSERT(!sim.queue().empty(),
+                   "fio run stalled: no events left");
         sim.runUntil(sim.now() + sim::milliseconds(10));
     }
     return runner->result();
@@ -39,7 +65,8 @@ runFioMany(sim::Simulator &sim,
         r->start();
     while (!std::all_of(runners.begin(), runners.end(),
                         [](auto *r) { return r->finished(); })) {
-        assert(!sim.queue().empty() && "fio run stalled: no events left");
+        BMS_ASSERT(!sim.queue().empty(),
+                   "fio run stalled: no events left");
         sim.runUntil(sim.now() + sim::milliseconds(10));
     }
     std::vector<workload::FioResult> out;
@@ -57,7 +84,8 @@ Table::Table(std::vector<std::string> headers)
 void
 Table::addRow(std::vector<std::string> cells)
 {
-    assert(cells.size() == _headers.size());
+    BMS_ASSERT_EQ(cells.size(), _headers.size(),
+                  "table row does not match header");
     _rows.push_back(std::move(cells));
 }
 

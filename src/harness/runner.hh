@@ -16,6 +16,15 @@
 
 namespace bms::harness {
 
+/**
+ * Parse the flags every bench/example binary shares:
+ *   --paranoid   enable structure-wide invariant sweeps on hot paths
+ *                (sim::Check::paranoid(); also BMS_PARANOID=1)
+ *   --log=LEVEL  raise the log level (warn|info|debug|trace)
+ * Unknown arguments are left alone so binaries can add their own.
+ */
+void applyCommonFlags(int argc, char **argv);
+
 /** Run one fio spec to completion on @p dev; returns its results. */
 workload::FioResult runFio(sim::Simulator &sim, host::BlockDeviceIf &dev,
                            const workload::FioJobSpec &spec);

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/check.hh"
+
 namespace bms::harness {
 
 TestbedBase::TestbedBase(const TestbedConfig &cfg) : _cfg(cfg)
@@ -16,7 +18,8 @@ TestbedBase::runUntilTrue(const std::function<bool()> &pred,
 {
     sim::Tick deadline = _sim->now() + timeout;
     while (!pred()) {
-        assert(_sim->now() < deadline && "testbed bring-up timed out");
+        BMS_ASSERT_LT(_sim->now(), deadline,
+                      "testbed bring-up timed out");
         _sim->runUntil(_sim->now() + step);
     }
 }
@@ -125,7 +128,7 @@ BmStoreTestbed::attachTenant(pcie::FunctionId fn, std::uint64_t bytes,
 {
     auto nsid = _controller->namespaces().createAndAttach(
         fn, bytes, policy, qos, pin_slot);
-    assert(nsid && "namespace allocation failed");
+    BMS_ASSERT(nsid, "namespace allocation failed");
     host::NvmeDriver::Config dc;
     dc.ioQueues = _cfg.ioQueues;
     dc.queueDepth = _cfg.queueDepth;
@@ -147,8 +150,8 @@ BmStoreTestbed::addVm(std::uint64_t ns_bytes, core::QosLimits qos,
 {
     BmsVm out;
     out.fn = _nextVf++;
-    assert(out.fn < _engine->config().totalFunctions() &&
-           "out of VFs (the card exposes 4 PFs + 124 VFs)");
+    BMS_ASSERT_LT(out.fn, _engine->config().totalFunctions(),
+                  "out of VFs (the card exposes 4 PFs + 124 VFs)");
     out.vm = _sim->make<virt::VirtualMachine>(
         *_sim, "vm.fn" + std::to_string(out.fn), vm_cfg);
     out.driver = &attachTenant(out.fn, ns_bytes,

@@ -12,7 +12,6 @@
 #ifndef BMS_HARNESS_TESTBEDS_HH
 #define BMS_HARNESS_TESTBEDS_HH
 
-#include <cassert>
 #include <memory>
 #include <string>
 #include <vector>

@@ -13,7 +13,7 @@
 #ifndef BMS_HOST_CPU_HH
 #define BMS_HOST_CPU_HH
 
-#include <cassert>
+#include "sim/check.hh"
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -84,7 +84,10 @@ class CpuCore
 class CpuSet
 {
   public:
-    explicit CpuSet(int cores) : _cores(cores) { assert(cores > 0); }
+    explicit CpuSet(int cores) : _cores(cores)
+    {
+        BMS_ASSERT(cores > 0, "CPU set needs at least one core");
+    }
 
     int size() const { return static_cast<int>(_cores.size()); }
 

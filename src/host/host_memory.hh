@@ -7,7 +7,7 @@
 #ifndef BMS_HOST_HOST_MEMORY_HH
 #define BMS_HOST_HOST_MEMORY_HH
 
-#include <cassert>
+#include "sim/check.hh"
 #include <cstdint>
 
 #include "pcie/types.hh"
@@ -42,11 +42,13 @@ class HostMemory : public pcie::MemoryIf
     std::uint64_t
     alloc(std::uint64_t len, std::uint64_t align = 4096)
     {
-        assert(align && (align & (align - 1)) == 0);
+        BMS_ASSERT(align && (align & (align - 1)) == 0,
+                   "alignment must be a power of two: ", align);
         _next = (_next + align - 1) & ~(align - 1);
         std::uint64_t addr = _next;
         _next += len;
-        assert(_next < (1ull << 48) && "48-bit host address space");
+        BMS_ASSERT_LT(_next, 1ull << 48,
+                      "48-bit host address space exhausted");
         return addr;
     }
 

@@ -1,6 +1,5 @@
 #include "host/nvme_driver.hh"
 
-#include <cassert>
 #include <cstring>
 #include <utility>
 
@@ -25,8 +24,8 @@ NvmeDriver::NvmeDriver(sim::Simulator &sim, std::string name,
       _fn(fn),
       _cfg(cfg)
 {
-    assert(_cfg.ioQueues >= 1);
-    assert(_cfg.queueDepth >= 2);
+    BMS_ASSERT(_cfg.ioQueues >= 1, "driver needs at least one IO queue");
+    BMS_ASSERT(_cfg.queueDepth >= 2, "NVMe queues need depth >= 2");
 }
 
 void
@@ -40,8 +39,8 @@ NvmeDriver::init(std::function<void()> ready)
     id.nsid = _cfg.nsid;
     id.cdw10 = static_cast<std::uint32_t>(nvme::IdentifyCns::Namespace);
     id.prp1 = _adminDataPage;
-    adminCommand(id, [this, ready = std::move(ready)](const Cqe &cqe) {
-        assert(cqe.ok() && "identify namespace failed");
+    adminCommand(id, [this, ready = std::move(ready)](const Cqe &cqe) mutable {
+        BMS_ASSERT(cqe.ok(), "identify namespace failed");
         std::uint8_t raw[8];
         _mem.read(_adminDataPage, 8, raw);
         std::uint64_t nsze;
@@ -49,18 +48,24 @@ NvmeDriver::init(std::function<void()> ready)
         _capacity = nsze * nvme::kBlockSize;
 
         // Create queues 1..N, chained.
-        auto chain = std::make_shared<std::function<void(std::uint16_t)>>();
-        *chain = [this, chain, ready](std::uint16_t qid) {
-            if (qid > _cfg.ioQueues) {
-                _ready = true;
-                logInfo("ready: ", _cfg.ioQueues, " IO queues, capacity ",
-                        _capacity / sim::kGiB, " GiB");
-                ready();
-                return;
-            }
-            createIoQueue(qid, [chain, qid] { (*chain)(qid + 1); });
-        };
-        (*chain)(1);
+        createIoQueuesFrom(1, std::move(ready));
+    });
+}
+
+void
+NvmeDriver::createIoQueuesFrom(std::uint16_t qid,
+                               std::function<void()> ready)
+{
+    if (qid > _cfg.ioQueues) {
+        _ready = true;
+        logInfo("ready: ", _cfg.ioQueues, " IO queues, capacity ",
+                _capacity / sim::kGiB, " GiB");
+        ready();
+        return;
+    }
+    createIoQueue(qid, [this, qid, ready = std::move(ready)]() mutable {
+        createIoQueuesFrom(static_cast<std::uint16_t>(qid + 1),
+                           std::move(ready));
     });
 }
 
@@ -152,7 +157,7 @@ NvmeDriver::createIoQueue(std::uint16_t qid, std::function<void()> then)
     ccq.cdw10 = (static_cast<std::uint32_t>(q.depth - 1) << 16) | qid;
     ccq.cdw11 = (static_cast<std::uint32_t>(qid) << 16) | 0x3; // IEN|PC
     adminCommand(ccq, [this, qid, then = std::move(then)](const Cqe &c) {
-        assert(c.ok());
+        BMS_ASSERT(c.ok(), "CreateIoCq ", qid, " failed");
         Queue &q = _queues[qid];
         Sqe csq;
         csq.opcode = static_cast<std::uint8_t>(AdminOpcode::CreateIoSq);
@@ -160,8 +165,7 @@ NvmeDriver::createIoQueue(std::uint16_t qid, std::function<void()> then)
         csq.cdw10 = (static_cast<std::uint32_t>(q.depth - 1) << 16) | qid;
         csq.cdw11 = (static_cast<std::uint32_t>(qid) << 16) | 0x1; // PC
         adminCommand(csq, [then](const Cqe &c2) {
-            assert(c2.ok());
-            (void)c2;
+            BMS_ASSERT(c2.ok(), "CreateIoSq failed");
             then();
         });
     });
@@ -170,8 +174,8 @@ NvmeDriver::createIoQueue(std::uint16_t qid, std::function<void()> then)
 void
 NvmeDriver::submit(BlockRequest req)
 {
-    assert(_ready && "submit before init completed");
-    assert(req.len <= _cfg.maxIoBytes);
+    BMS_ASSERT(_ready, "submit before init completed");
+    BMS_ASSERT_LE(req.len, _cfg.maxIoBytes, "request exceeds MDTS");
     int idx = req.queueHint >= 0 ? req.queueHint % _cfg.ioQueues
                                  : (_rrQueue++ % _cfg.ioQueues);
     Queue &q = _queues[static_cast<std::size_t>(idx) + 1];
@@ -188,7 +192,7 @@ NvmeDriver::pushToQueue(Queue &q, BlockRequest req)
     std::uint16_t cid = q.freeCids.back();
     q.freeCids.pop_back();
     Slot &slot = q.slots[cid];
-    assert(!slot.busy);
+    BMS_ASSERT(!slot.busy, "free-cid list handed out a busy slot");
     slot.busy = true;
     slot.req = std::move(req);
     ++q.inflight;
@@ -208,8 +212,10 @@ NvmeDriver::pushToQueue(Queue &q, BlockRequest req)
         break;
     }
     if (slot.req.op != BlockRequest::Op::Flush) {
-        assert(slot.req.len % nvme::kBlockSize == 0 &&
-               slot.req.offset % nvme::kBlockSize == 0);
+        BMS_ASSERT(slot.req.len % nvme::kBlockSize == 0 &&
+                       slot.req.offset % nvme::kBlockSize == 0,
+                   "I/O not block-aligned: offset=", slot.req.offset,
+                   " len=", slot.req.len);
         sqe.setSlba(slot.req.offset / nvme::kBlockSize);
         sqe.setNlb(slot.req.len / nvme::kBlockSize);
         std::uint64_t data =
@@ -275,9 +281,10 @@ void
 NvmeDriver::finishRequest(Queue &q, const nvme::Cqe &cqe,
                           sim::Tick irq_start)
 {
-    assert(cqe.cid < q.slots.size());
+    BMS_ASSERT_LT(cqe.cid, q.slots.size(),
+                  "completion for unknown cid");
     Slot &slot = q.slots[cqe.cid];
-    assert(slot.busy);
+    BMS_ASSERT(slot.busy, "completion for idle slot");
     bool ok = cqe.ok();
     auto done = std::move(slot.req.done);
     slot.busy = false;

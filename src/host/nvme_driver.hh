@@ -100,6 +100,10 @@ class NvmeDriver : public sim::SimObject, public BlockDeviceIf
 
     void setupAdminQueues();
     void createIoQueue(std::uint16_t qid, std::function<void()> then);
+    /** Create IO queues qid..ioQueues one after another, then ready().
+     *  Plain recursion — a self-capturing shared std::function would
+     *  be a reference cycle and leak (caught by LeakSanitizer). */
+    void createIoQueuesFrom(std::uint16_t qid, std::function<void()> ready);
     void adminIrq();
     void ioIrq(std::uint16_t qid);
     void pushToQueue(Queue &q, BlockRequest req);

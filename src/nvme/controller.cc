@@ -1,8 +1,9 @@
 #include "nvme/controller.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
+
+#include "sim/check.hh"
 
 namespace bms::nvme {
 
@@ -22,7 +23,8 @@ ControllerModel::ControllerModel(sim::Simulator &sim, std::string name,
 void
 ControllerModel::addNamespace(const NamespaceInfo &ns)
 {
-    assert(ns.nsid != 0 && !findNamespace(ns.nsid));
+    BMS_ASSERT(ns.nsid != 0 && !findNamespace(ns.nsid),
+               "nsid ", ns.nsid, " is zero or already present");
     _nses.push_back(ns);
 }
 
@@ -97,7 +99,7 @@ ControllerModel::regRead(std::uint64_t offset) const
 void
 ControllerModel::enable()
 {
-    assert(_up && "controller enabled before attach");
+    BMS_ASSERT(_up, "controller enabled before attach");
     _enabled = true;
     // Admin queues from AQA/ASQ/ACQ. AQA: [11:0] SQ size-1,
     // [27:16] CQ size-1.
@@ -351,8 +353,8 @@ void
 ControllerModel::dmaToHost(const Sqe &sqe, const std::uint8_t *data,
                            std::uint32_t len, std::function<void()> done)
 {
-    assert(len <= kPageSize && sqe.prp1 % kPageSize == 0 &&
-           "admin data buffers are single page-aligned pages");
+    BMS_ASSERT(len <= kPageSize && sqe.prp1 % kPageSize == 0,
+               "admin data buffers are single page-aligned pages");
     _up->dmaWrite(sqe.prp1, len, data, std::move(done));
 }
 
@@ -360,12 +362,13 @@ void
 ControllerModel::complete(std::uint16_t sqid, std::uint16_t cid, Status st,
                           std::uint32_t dw0)
 {
-    assert(sqid < _sqs.size() && _sqs[sqid].valid);
-    assert(_inflight > 0);
+    BMS_ASSERT(sqid < _sqs.size() && _sqs[sqid].valid,
+               "completion for invalid SQ ", sqid);
+    BMS_ASSERT(_inflight > 0, "completion with nothing in flight");
     --_inflight;
     auto &sq = _sqs[sqid];
     auto &cq = _cqs[sq.cqid];
-    assert(cq.valid);
+    BMS_ASSERT(cq.valid, "completion into invalid CQ");
 
     Cqe cqe;
     cqe.dw0 = dw0;

@@ -1,7 +1,8 @@
 #include "nvme/prp.hh"
 
-#include <cassert>
 #include <cstring>
+
+#include "sim/check.hh"
 
 namespace bms::nvme {
 
@@ -41,8 +42,8 @@ buildPrp(std::uint64_t addr, std::uint64_t len, std::uint64_t list_addr,
     pair.hasList = true;
     pair.prp2 = list_addr;
     pair.listEntries = pages - 1;
-    assert(pair.listEntries * sizeof(std::uint64_t) <= kPageSize &&
-           "single-page PRP lists only (transfers up to 2 MiB)");
+    BMS_ASSERT_LE(pair.listEntries * sizeof(std::uint64_t), kPageSize,
+                  "single-page PRP lists only (transfers up to 2 MiB)");
     std::vector<std::uint64_t> entries(pair.listEntries);
     for (std::uint32_t i = 0; i < pair.listEntries; ++i)
         entries[i] = second_page + static_cast<std::uint64_t>(i) * kPageSize;
@@ -87,7 +88,8 @@ decodePrp(std::uint64_t prp1, std::uint64_t prp2, std::uint64_t len,
 
     if (list_entries.empty()) {
         // PRP2 is a direct second-page pointer.
-        assert(remaining <= kPageSize && "missing PRP list");
+        BMS_ASSERT_LE(remaining, kPageSize,
+                      "transfer needs a PRP list but PRP2 is direct");
         appendSegment(segs, prp2, static_cast<std::uint32_t>(remaining));
         return segs;
     }
@@ -99,7 +101,7 @@ decodePrp(std::uint64_t prp1, std::uint64_t prp2, std::uint64_t len,
         appendSegment(segs, entry, static_cast<std::uint32_t>(chunk));
         remaining -= chunk;
     }
-    assert(remaining == 0 && "PRP list too short for transfer");
+    BMS_ASSERT_EQ(remaining, 0u, "PRP list too short for transfer");
     return segs;
 }
 

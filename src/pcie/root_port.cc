@@ -1,6 +1,5 @@
 #include "pcie/root_port.hh"
 
-#include <cassert>
 #include <utility>
 
 namespace bms::pcie {
@@ -17,7 +16,7 @@ RootPort::RootPort(sim::Simulator &sim, std::string name, int lanes,
 void
 RootPort::attach(PcieDeviceIf &device)
 {
-    assert(!_device && "slot already occupied");
+    BMS_ASSERT(!_device, "root-port slot already occupied");
     _device = &device;
     device.attached(*this);
 }
@@ -26,7 +25,7 @@ void
 RootPort::hostMmioWrite(FunctionId fn, std::uint64_t offset,
                         std::uint64_t value)
 {
-    assert(_device);
+    BMS_ASSERT(_device, "MMIO write with no device attached");
     sim::Tick arrive = _link.down().controlArrival(now());
     sim().scheduleAt(arrive, [this, fn, offset, value] {
         _device->mmioWrite(fn, offset, value);
@@ -36,7 +35,7 @@ RootPort::hostMmioWrite(FunctionId fn, std::uint64_t offset,
 std::uint64_t
 RootPort::hostMmioRead(FunctionId fn, std::uint64_t offset)
 {
-    assert(_device);
+    BMS_ASSERT(_device, "MMIO read with no device attached");
     return _device->mmioRead(fn, offset);
 }
 

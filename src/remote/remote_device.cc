@@ -1,6 +1,5 @@
 #include "remote/remote_device.hh"
 
-#include <cassert>
 #include <utility>
 
 namespace bms::remote {
@@ -28,16 +27,14 @@ void
 RemoteNvmeDevice::mmioWrite(pcie::FunctionId fn, std::uint64_t offset,
                             std::uint64_t value)
 {
-    assert(fn == 0);
-    (void)fn;
+    BMS_ASSERT_EQ(fn, 0, "remote NVMe device is single-function");
     _ctrl->regWrite(offset, value);
 }
 
 std::uint64_t
 RemoteNvmeDevice::mmioRead(pcie::FunctionId fn, std::uint64_t offset)
 {
-    assert(fn == 0);
-    (void)fn;
+    BMS_ASSERT_EQ(fn, 0, "remote NVMe device is single-function");
     return _ctrl->regRead(offset);
 }
 

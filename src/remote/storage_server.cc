@@ -1,6 +1,5 @@
 #include "remote/storage_server.hh"
 
-#include <cassert>
 #include <utility>
 
 namespace bms::remote {
@@ -28,7 +27,8 @@ StorageServer::StorageServer(sim::Simulator &sim, std::string name,
     // Bring-up happens at t=0 before any workload; drive it inline.
     sim::Tick deadline = sim.now() + sim::seconds(2);
     while (ready != cfg.ssdCount) {
-        assert(sim.now() < deadline && "storage server bring-up stuck");
+        BMS_ASSERT_LT(sim.now(), deadline,
+                      "storage server bring-up stuck");
         sim.runUntil(sim.now() + sim::milliseconds(1));
     }
     _ready = true;
@@ -37,9 +37,11 @@ StorageServer::StorageServer(sim::Simulator &sim, std::string name,
 int
 StorageServer::addVolume(Volume v)
 {
-    assert(v.disk >= 0 && v.disk < static_cast<int>(_drivers.size()));
-    assert(v.offset + v.length <=
-           _drivers[static_cast<std::size_t>(v.disk)]->capacityBytes());
+    BMS_ASSERT(v.disk >= 0 && v.disk < static_cast<int>(_drivers.size()),
+               "volume references unknown disk ", v.disk);
+    BMS_ASSERT_LE(v.offset + v.length,
+                  _drivers[static_cast<std::size_t>(v.disk)]->capacityBytes(),
+                  "volume extends past the disk");
     _volumes.push_back(v);
     return static_cast<int>(_volumes.size()) - 1;
 }
@@ -53,7 +55,7 @@ StorageServer::volumeBytes(int volume) const
 void
 StorageServer::execute(int volume, RemoteIo io)
 {
-    assert(_ready);
+    BMS_ASSERT(_ready, "I/O executed before server bring-up");
     const Volume &vol = _volumes.at(static_cast<std::size_t>(volume));
     if (!io.isFlush && io.offset + io.len > vol.length) {
         io.done(false);

@@ -1,0 +1,124 @@
+#include "sim/check.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace bms::sim {
+
+// Constant-initialised so the dynamic initialiser in a linked TU
+// (tests/panic_mode.cc) can never be clobbered by init-order races.
+// Benches abort with the report; tests flip the mode to Throw.
+PanicMode Check::_mode = PanicMode::Abort;
+bool Check::_paranoid = false;
+
+namespace {
+
+/** BMS_PARANOID=1 enables paranoid sweeps for any binary. The hook
+ *  only ever *enables*, so its order relative to other initialisers
+ *  (e.g. tests/panic_mode.cc) is irrelevant. */
+[[maybe_unused]] const bool kEnvParanoid = [] {
+    const char *env = std::getenv("BMS_PARANOID");
+    if (env && env[0] == '1')
+        Check::setParanoid(true);
+    return true;
+}();
+
+/**
+ * Stack of live event queues; reports read simulated time from the
+ * innermost one. thread_local so concurrently-running test shards
+ * never see each other's clocks.
+ */
+thread_local std::vector<const EventQueue *> tickSources;
+
+/** Innermost component named by a ScopedCheckComponent guard. */
+thread_local const std::string *currentComponent = nullptr;
+
+} // namespace
+
+std::uint64_t
+Check::reportTick()
+{
+    return tickSources.empty() ? 0 : tickSources.back()->now();
+}
+
+void
+Check::pushTickSource(const EventQueue *q)
+{
+    tickSources.push_back(q);
+}
+
+void
+Check::popTickSource(const EventQueue *q)
+{
+    // Queues die in LIFO order in practice, but tolerate any order so
+    // an oddly-scoped testbed cannot corrupt the stack.
+    for (auto it = tickSources.rbegin(); it != tickSources.rend(); ++it) {
+        if (*it == q) {
+            tickSources.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
+ScopedCheckComponent::ScopedCheckComponent(const std::string &name)
+    : _prev(currentComponent)
+{
+    currentComponent = &name;
+}
+
+ScopedCheckComponent::~ScopedCheckComponent()
+{
+    currentComponent = _prev;
+}
+
+namespace detail {
+namespace {
+
+[[noreturn]] void
+emit(const char *kind, const char *expr, const char *file, int line,
+     const char *func, const std::string &values,
+     const std::string &detail)
+{
+    std::ostringstream os;
+    os << "panic: " << kind;
+    if (expr)
+        os << " failed: " << expr;
+    if (!values.empty())
+        os << " [" << values << "]";
+    if (!detail.empty())
+        os << "\n  detail: " << detail;
+    os << "\n  at " << file << ":" << line << " (" << func << ")";
+    os << "\n  tick: " << Check::reportTick() << " ns";
+    if (currentComponent)
+        os << "  component: " << *currentComponent;
+
+    if (Check::mode() == PanicMode::Throw)
+        throw SimPanic(os.str());
+    std::fputs(os.str().c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+} // namespace
+
+void
+checkFail(const char *kind, const char *expr, const char *file, int line,
+          const char *func, const std::string &detail)
+{
+    emit(kind, expr, file, line, func, {}, detail);
+}
+
+void
+checkFailCmp(const char *kind, const char *expr, const char *file,
+             int line, const char *func, const std::string &lhs,
+             const std::string &rhs, const std::string &detail)
+{
+    emit(kind, expr, file, line, func, "lhs=" + lhs + " rhs=" + rhs,
+         detail);
+}
+
+} // namespace detail
+} // namespace bms::sim

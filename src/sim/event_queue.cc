@@ -1,17 +1,30 @@
 #include "sim/event_queue.hh"
 
-#include <cassert>
 #include <utility>
 
+#include "sim/check.hh"
+
 namespace bms::sim {
+
+EventQueue::EventQueue()
+{
+    Check::pushTickSource(this);
+}
+
+EventQueue::~EventQueue()
+{
+    Check::popTickSource(this);
+}
 
 EventId
 EventQueue::schedule(Tick when, Callback cb)
 {
-    assert(when >= _now && "cannot schedule into the past");
-    assert(cb && "null event callback");
+    BMS_ASSERT(when >= _now, "cannot schedule into the past: when=", when,
+               " now=", _now);
+    BMS_ASSERT(cb, "null event callback scheduled for tick ", when);
     EventId id = _nextId++;
     _heap.push(Entry{when, id, std::move(cb)});
+    _pending.insert(id);
     ++_live;
     return id;
 }
@@ -21,10 +34,14 @@ EventQueue::cancel(EventId id)
 {
     if (id == kInvalidEventId)
         return;
-    // Only mark ids that could still be pending; the set is pruned as
-    // cancelled entries surface at the heap top.
-    if (id < _nextId && _cancelled.insert(id).second && _live > 0)
-        --_live;
+    // Only ids that are still physically in the heap may enter the
+    // lazily-deleted set; cancelling an executed (or never-issued) id
+    // is a no-op. The entry is purged when its tick is popped, so
+    // _cancelled can never outgrow the heap.
+    if (!_pending.count(id) || !_cancelled.insert(id).second)
+        return;
+    BMS_ASSERT(_live > 0, "cancel(", id, ") with no live events");
+    --_live;
 }
 
 bool
@@ -35,12 +52,17 @@ EventQueue::runOne()
         // safe because we pop immediately after.
         Entry entry = std::move(const_cast<Entry &>(_heap.top()));
         _heap.pop();
+        _pending.erase(entry.id);
         if (_cancelled.erase(entry.id))
             continue;
-        assert(entry.when >= _now);
+        BMS_ASSERT(entry.when >= _now,
+                   "event ", entry.id, " popped in the past: when=",
+                   entry.when, " now=", _now);
         _now = entry.when;
         --_live;
         ++_executed;
+        if (Check::paranoid())
+            checkInvariants();
         entry.cb();
         return true;
     }
@@ -56,6 +78,7 @@ EventQueue::runUntil(Tick limit)
         // let an event beyond @p limit execute.
         while (!_heap.empty() && _cancelled.count(_heap.top().id)) {
             _cancelled.erase(_heap.top().id);
+            _pending.erase(_heap.top().id);
             _heap.pop();
         }
         if (_heap.empty() || _heap.top().when > limit)
@@ -73,6 +96,28 @@ EventQueue::runAll()
     while (runOne()) {
     }
     return _now;
+}
+
+void
+EventQueue::checkInvariants() const
+{
+    if (!_heap.empty()) {
+        BMS_ASSERT(_heap.top().when >= _now,
+                   "head event scheduled in the past: when=",
+                   _heap.top().when, " now=", _now);
+    }
+    // Lazily-deleted ids must all still sit in the heap awaiting
+    // purge; anything else would let the set grow without bound.
+    BMS_ASSERT_LE(_cancelled.size(), _heap.size(),
+                  "cancelled-id set outgrew the heap");
+    BMS_ASSERT_EQ(_pending.size(), _heap.size(),
+                  "pending-id set out of sync with heap");
+    BMS_ASSERT_EQ(_live + _cancelled.size(), _heap.size(),
+                  "live/cancelled accounting does not cover the heap");
+    for (EventId id : _cancelled) {
+        BMS_ASSERT(_pending.count(id),
+                   "cancelled id ", id, " is not pending in the heap");
+    }
 }
 
 } // namespace bms::sim

@@ -4,7 +4,10 @@
  *
  * Events scheduled at the same tick execute in scheduling order
  * (FIFO), which keeps every experiment bit-for-bit reproducible for a
- * given seed. Cancellation is supported via lazily-deleted ids.
+ * given seed. Cancellation is supported via lazily-deleted ids: a
+ * cancelled entry stays in the heap and is purged when its tick is
+ * popped, so the cancelled-id set is always bounded by the heap size
+ * (checkInvariants() enforces this).
  */
 
 #ifndef BMS_SIM_EVENT_QUEUE_HH
@@ -35,7 +38,8 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
-    EventQueue() = default;
+    EventQueue();
+    ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -87,6 +91,17 @@ class EventQueue
     /** Total number of events executed since construction. */
     std::uint64_t executedCount() const { return _executed; }
 
+    /**
+     * Structure-wide self-check (BMS_ASSERT on violation):
+     *  - the head event is never in the past;
+     *  - every heap entry is accounted as either live or cancelled,
+     *    so the lazily-deleted id set cannot grow unboundedly;
+     *  - live/pending bookkeeping agrees with the heap.
+     * Runs after every pop under Check::paranoid(); tests call it
+     * directly.
+     */
+    void checkInvariants() const;
+
   private:
     struct Entry
     {
@@ -107,6 +122,9 @@ class EventQueue
     };
 
     std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    /** Ids scheduled but not yet popped (still physically in _heap). */
+    std::unordered_set<EventId> _pending;
+    /** Pending ids whose entry must be dropped when popped. */
     std::unordered_set<EventId> _cancelled;
     Tick _now = 0;
     EventId _nextId = 1;

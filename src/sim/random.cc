@@ -5,8 +5,9 @@ namespace bms::sim {
 ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
     : _n(n), _theta(theta)
 {
-    assert(n >= 1);
-    assert(theta > 0.0 && theta < 1.0);
+    BMS_ASSERT(n >= 1, "zipf needs at least one item");
+    BMS_ASSERT(theta > 0.0 && theta < 1.0,
+               "zipf skew out of range: theta=", theta);
     _hIntegralX1 = hIntegral(1.5) - 1.0;
     _hIntegralNumItems = hIntegral(static_cast<double>(n) + 0.5);
     _s = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));

@@ -10,7 +10,7 @@
 #ifndef BMS_SIM_RANDOM_HH
 #define BMS_SIM_RANDOM_HH
 
-#include <cassert>
+#include "sim/check.hh"
 #include <cmath>
 #include <cstdint>
 #include <random>
@@ -29,7 +29,7 @@ class Rng
     std::uint64_t
     uniformInt(std::uint64_t lo, std::uint64_t hi)
     {
-        assert(lo <= hi);
+        BMS_ASSERT_LE(lo, hi, "empty uniformInt range");
         return std::uniform_int_distribution<std::uint64_t>(lo, hi)(_gen);
     }
 
@@ -50,7 +50,7 @@ class Rng
     double
     exponential(double mean)
     {
-        assert(mean > 0.0);
+        BMS_ASSERT(mean > 0.0, "exponential mean must be positive");
         double u = uniform01();
         // Guard against log(0).
         if (u <= 0.0)

@@ -1,8 +1,9 @@
 #include "sim/stats.hh"
 
 #include <bit>
-#include <cassert>
 #include <cmath>
+
+#include "sim/check.hh"
 
 namespace bms::sim {
 
@@ -15,7 +16,8 @@ LatencyHistogram::bucketIndex(Tick value)
     int shift = octave - kSubBits;
     int sub = static_cast<int>((value >> shift) & (kSub - 1));
     int idx = ((octave - kSubBits + 1) << kSubBits) + sub;
-    assert(idx >= 0 && idx < kOctaves * kSub);
+    BMS_ASSERT(idx >= 0 && idx < kOctaves * kSub,
+               "histogram bucket out of range: idx=", idx);
     return idx;
 }
 

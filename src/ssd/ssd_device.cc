@@ -1,6 +1,5 @@
 #include "ssd/ssd_device.hh"
 
-#include <cassert>
 #include <utility>
 
 namespace bms::ssd {
@@ -43,16 +42,14 @@ void
 SsdDevice::mmioWrite(pcie::FunctionId fn, std::uint64_t offset,
                      std::uint64_t value)
 {
-    assert(fn == 0);
-    (void)fn;
+    BMS_ASSERT_EQ(fn, 0, "back-end SSD is single-function");
     _ctrl->regWrite(offset, value);
 }
 
 std::uint64_t
 SsdDevice::mmioRead(pcie::FunctionId fn, std::uint64_t offset)
 {
-    assert(fn == 0);
-    (void)fn;
+    BMS_ASSERT_EQ(fn, 0, "back-end SSD is single-function");
     return _ctrl->regRead(offset);
 }
 
@@ -161,7 +158,7 @@ SsdDevice::dmaSegments(const std::vector<nvme::DmaSegment> &segs,
                        bool to_host, std::uint8_t *buf,
                        std::function<void()> done)
 {
-    assert(!segs.empty());
+    BMS_ASSERT(!segs.empty(), "DMA with no PRP segments");
     auto remaining = std::make_shared<std::size_t>(segs.size());
     auto fire = [remaining, done = std::move(done)] {
         if (--*remaining == 0)

@@ -1,6 +1,5 @@
 #include "ssd/zns.hh"
 
-#include <cassert>
 #include <cstring>
 
 namespace bms::ssd {
@@ -34,16 +33,14 @@ void
 ZnsSsd::mmioWrite(pcie::FunctionId fn, std::uint64_t offset,
                   std::uint64_t value)
 {
-    assert(fn == 0);
-    (void)fn;
+    BMS_ASSERT_EQ(fn, 0, "ZNS SSD is single-function");
     _ctrl->regWrite(offset, value);
 }
 
 std::uint64_t
 ZnsSsd::mmioRead(pcie::FunctionId fn, std::uint64_t offset)
 {
-    assert(fn == 0);
-    (void)fn;
+    BMS_ASSERT_EQ(fn, 0, "ZNS SSD is single-function");
     return _ctrl->regRead(offset);
 }
 

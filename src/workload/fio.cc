@@ -1,6 +1,5 @@
 #include "workload/fio.hh"
 
-#include <cassert>
 
 #include "nvme/defs.hh"
 
@@ -73,22 +72,23 @@ FioRunner::FioRunner(sim::Simulator &sim, std::string name,
       _spec(spec),
       _rng(sim.rng().fork())
 {
-    assert(_spec.numjobs >= 1 && _spec.iodepth >= 1);
+    BMS_ASSERT(_spec.numjobs >= 1 && _spec.iodepth >= 1,
+               "fio spec needs at least one job and queue slot");
     _result.caseName = _spec.caseName;
 }
 
 void
 FioRunner::start(std::function<void()> done)
 {
-    assert(!_running);
+    BMS_ASSERT(!_running, "fio runner started twice");
     _done = std::move(done);
     _running = true;
 
     std::uint64_t region = _spec.regionBytes ? _spec.regionBytes
                                              : _dev.capacityBytes();
     std::uint64_t region_blocks = region / _spec.blockSize;
-    assert(region_blocks >= static_cast<std::uint64_t>(_spec.numjobs) &&
-           "region too small for job count");
+    BMS_ASSERT(region_blocks >= static_cast<std::uint64_t>(_spec.numjobs),
+               "region too small for job count");
 
     // Jobs carve the region into equal slices, like fio files.
     std::uint64_t per_job = region_blocks / _spec.numjobs;

@@ -8,6 +8,7 @@
 
 #include "core/engine/chip_memory.hh"
 #include "core/engine/global_prp.hh"
+#include "tests/test_util.hh"
 #include "core/engine/resources.hh"
 
 using namespace bms::core;
@@ -45,9 +46,22 @@ TEST(GlobalPrp, OriginalFieldIs48Bits)
     std::uint64_t max_host = (1ull << 48) - 1;
     std::uint64_t g = GlobalPrp::encode(max_host, 1, false);
     EXPECT_EQ(GlobalPrp::originalAddr(g), max_host);
-    // Bits above 48 in the input are masked.
-    std::uint64_t dirty = GlobalPrp::encode(~0ull, 1, false);
-    EXPECT_EQ(GlobalPrp::originalAddr(dirty), max_host);
+    // Bits above 48 would corrupt the rewrite; the engine refuses
+    // instead of silently masking them away.
+    EXPECT_PANIC(GlobalPrp::encode(~0ull, 1, false));
+}
+
+TEST(GlobalPrp, CheckInvariantsRoundTrips)
+{
+    for (bool list : {false, true}) {
+        std::uint64_t g = GlobalPrp::encode(0x0000'1234'5678'9000ull,
+                                            42, list);
+        GlobalPrp::checkInvariants(g); // must not panic
+    }
+    // A reserved bit in [55:48] cannot round-trip through the
+    // decode → encode path and must be rejected.
+    std::uint64_t g = GlobalPrp::encode(0x1000, 3, true);
+    EXPECT_PANIC(GlobalPrp::checkInvariants(g | (1ull << 50)));
 }
 
 TEST(GlobalPrp, PlainHostAddressIsNotGlobal)

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/engine/lba_map.hh"
+#include "tests/test_util.hh"
 
 using namespace bms::core;
 
@@ -76,8 +77,11 @@ TEST(LbaMap, BeyondTableFailsTranslation)
 TEST(LbaMap, AppendChunkFillsRowMajor)
 {
     LbaMapTable mt(smallGeom());
+    // Distinct (base, ssd) pairs: identical pairs would be two valid
+    // entries mapping the same physical chunk, which checkInvariants()
+    // rejects.
     for (std::uint32_t i = 0; i < 64; ++i) {
-        auto pos = mt.appendChunk(static_cast<std::uint8_t>(i % 32),
+        auto pos = mt.appendChunk(static_cast<std::uint8_t>(i),
                                   static_cast<std::uint8_t>(i % 4));
         ASSERT_TRUE(pos.has_value());
         EXPECT_EQ(pos->first, i / 8);
@@ -129,6 +133,63 @@ TEST_P(LbaMapProperty, AllOffsetsConsistent)
 
 INSTANTIATE_TEST_SUITE_P(AllChunks, LbaMapProperty,
                          ::testing::Range(0u, 64u, 7u));
+
+TEST(LbaMap, OutOfRangeLbaAndRawAccess)
+{
+    LbaMapGeometry g = smallGeom();
+    LbaMapTable mt(g);
+    // Way out of range translates to nothing...
+    EXPECT_FALSE(mt.translate(g.capacityBlocks() * 16).has_value());
+    // ...but raw readback of a non-existent entry is a modelling bug.
+    EXPECT_PANIC(mt.rawEntry(8, 0));
+    EXPECT_PANIC(mt.rawEntry(0, 8));
+}
+
+TEST(LbaMap, InvalidValidationVectorRowPanics)
+{
+    LbaMapTable mt(smallGeom());
+    EXPECT_PANIC(mt.validationVector(8));
+}
+
+TEST(LbaMap, RemapOfLiveChunkKeepsInvariants)
+{
+    LbaMapTable mt(smallGeom());
+    ASSERT_TRUE(mt.setEntry(0, 0, 5, 1));
+    // Re-pointing a live entry at a different chunk is a legal remap.
+    ASSERT_TRUE(mt.setEntry(0, 0, 6, 1));
+    auto m = mt.translate(0);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->physLba / mt.geometry().chunkBlocks, 6u);
+    mt.checkInvariants();
+}
+
+TEST(LbaMap, DoubleMappedChunkViolatesInvariant)
+{
+    LbaMapTable mt(smallGeom());
+    ASSERT_TRUE(mt.setEntry(0, 0, 5, 1));
+    // Mapping the same physical chunk (ssd 1, base 5) from a second
+    // entry would alias 64 GiB of tenant data. With paranoid checks on
+    // (tests always run paranoid) the mutation itself panics.
+    EXPECT_PANIC(mt.setEntry(0, 1, 5, 1));
+}
+
+TEST(LbaMap, ValidationVectorBitsBeyondRowWidthPanic)
+{
+    LbaMapGeometry g = smallGeom();
+    g.entriesPerRow = 4; // validation bits [7:4] must stay clear
+    LbaMapTable mt(g);
+    ASSERT_TRUE(mt.setEntry(0, 3, 1, 0));
+    mt.checkInvariants();
+    EXPECT_FALSE(mt.setEntry(0, 4, 2, 0)); // rejected, no bit set
+    mt.checkInvariants();
+}
+
+TEST(LbaMap, DegenerateGeometryPanics)
+{
+    LbaMapGeometry g = smallGeom();
+    g.entriesPerRow = 9; // wider than the 8-bit validation vector
+    EXPECT_PANIC(LbaMapTable bad(g));
+}
 
 TEST(LbaMap, CustomGeometryCapacity)
 {

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Linked into every test binary (see tests/CMakeLists.txt): switch
+ * invariant violations from abort to throwing sim::SimPanic, so a
+ * violated invariant fails one GTest case instead of killing the
+ * whole binary, and enable paranoid structure sweeps unconditionally
+ * — tier-1 tests always run with full self-checking.
+ */
+
+#include "sim/check.hh"
+
+namespace {
+
+const bool kConfigured = [] {
+    bms::sim::Check::setMode(bms::sim::PanicMode::Throw);
+    bms::sim::Check::setParanoid(true);
+    return true;
+}();
+
+} // namespace

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/engine/qos.hh"
+#include "tests/test_util.hh"
 
 using namespace bms;
 using core::QosLimits;
@@ -146,4 +147,37 @@ TEST(Qos, ZeroLimitsMeansUnlimited)
     for (int i = 0; i < 500; ++i)
         f.qos->submit(key, 1 << 20, [&] { ++fwd; });
     EXPECT_EQ(fwd, 500);
+}
+
+TEST(Qos, InvariantsHoldThroughBufferedDispatch)
+{
+    Fixture f;
+    std::uint32_t key = QosModule::key(1, 1);
+    QosLimits lim;
+    lim.iopsLimit = 1000.0;
+    f.qos->setLimits(key, lim);
+    int forwarded = 0;
+    for (int i = 0; i < 200; ++i)
+        f.qos->submit(key, 4096, [&] { ++forwarded; });
+    f.qos->checkInvariants();
+    EXPECT_GT(f.qos->bufferDepth(key), 0u);
+    f.sim.runFor(sim::seconds(1));
+    f.qos->checkInvariants();
+    EXPECT_EQ(forwarded, 200);
+    EXPECT_EQ(f.qos->bufferDepth(key), 0u);
+}
+
+TEST(Qos, BufferOverflowPanics)
+{
+    Fixture f;
+    std::uint32_t key = QosModule::key(1, 1);
+    QosLimits lim;
+    lim.iopsLimit = 1.0; // essentially everything buffers
+    f.qos->setLimits(key, lim);
+    auto flood = [&] {
+        for (std::size_t i = 0; i <= QosModule::kMaxBufferDepth + 1; ++i)
+            f.qos->submit(key, 512, [] {});
+    };
+    EXPECT_PANIC(flood());
+    EXPECT_EQ(f.qos->bufferDepth(key), QosModule::kMaxBufferDepth);
 }

@@ -8,12 +8,14 @@
 
 #include <vector>
 
+#include "sim/check.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "sim/sparse_memory.hh"
 #include "sim/stats.hh"
 #include "sim/stats_registry.hh"
+#include "tests/test_util.hh"
 
 using namespace bms::sim;
 
@@ -57,6 +59,85 @@ TEST(EventQueue, CancelUnknownIdIsNoop)
     q.cancel(kInvalidEventId);
     q.cancel(12345);
     EXPECT_TRUE(q.empty());
+    q.checkInvariants();
+}
+
+TEST(EventQueue, CancelOfExecutedIdDoesNotCorruptBookkeeping)
+{
+    EventQueue q;
+    EventId a = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    ASSERT_TRUE(q.runOne()); // a has executed
+    // Cancelling an already-executed id must not decrement the live
+    // count or park the id in the lazily-deleted set forever.
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+    q.checkInvariants();
+    q.runAll();
+    EXPECT_TRUE(q.empty());
+    q.checkInvariants();
+}
+
+TEST(EventQueue, CancelledIdsArePurgedWhenTheirTickPops)
+{
+    EventQueue q;
+    std::vector<EventId> ids;
+    ids.reserve(100);
+    for (int i = 0; i < 100; ++i)
+        ids.push_back(q.schedule(10 + i, [] {}));
+    for (EventId id : ids)
+        q.cancel(id);
+    EXPECT_EQ(q.size(), 0u);
+    // Double-cancel is a no-op, not a second decrement.
+    q.cancel(ids.front());
+    q.checkInvariants();
+    q.runUntil(1000); // pops (and purges) every cancelled entry
+    EXPECT_TRUE(q.empty());
+    q.checkInvariants();
+    EXPECT_EQ(q.executedCount(), 0u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.runAll();
+    EXPECT_EQ(q.now(), 10u);
+    EXPECT_PANIC(q.schedule(5, [] {}));
+    EXPECT_PANIC(q.schedule(10, EventQueue::Callback{}));
+}
+
+TEST(Check, PanicReportCarriesContext)
+{
+    EventQueue q;
+    q.schedule(42, [] {});
+    q.runAll(); // advance the innermost clock to tick 42
+    std::string report;
+    try {
+        bms::sim::ScopedPanicMode guard(PanicMode::Throw);
+        std::string who = "engine0.qos";
+        bms::sim::ScopedCheckComponent comp(who);
+        BMS_ASSERT_EQ(2 + 2, 5, "arithmetic drifted");
+    } catch (const SimPanic &p) {
+        report = p.what();
+    }
+    EXPECT_NE(report.find("2 + 2 == 5"), std::string::npos) << report;
+    EXPECT_NE(report.find("lhs=4 rhs=5"), std::string::npos) << report;
+    EXPECT_NE(report.find("arithmetic drifted"), std::string::npos);
+    EXPECT_NE(report.find("tick: 42 ns"), std::string::npos) << report;
+    EXPECT_NE(report.find("engine0.qos"), std::string::npos) << report;
+    EXPECT_NE(report.find("sim_test.cc"), std::string::npos) << report;
+}
+
+TEST(Check, MacrosPassOnSatisfiedConditions)
+{
+    BMS_ASSERT(true);
+    BMS_ASSERT(1 < 2, "with context ", 42);
+    BMS_ASSERT_EQ(7, 7);
+    BMS_ASSERT_NE(7, 8);
+    BMS_ASSERT_LE(7, 7);
+    BMS_ASSERT_LT(7, 8);
+    EXPECT_PANIC(BMS_PANIC("unreachable state ", 3));
 }
 
 TEST(EventQueue, RunUntilStopsAtLimit)

@@ -8,14 +8,28 @@
 #ifndef BMS_TESTS_TEST_UTIL_HH
 #define BMS_TESTS_TEST_UTIL_HH
 
-#include <cassert>
 #include <functional>
 #include <vector>
 
+#include <gtest/gtest.h>
+
 #include "host/block.hh"
 #include "pcie/device.hh"
+#include "sim/check.hh"
 #include "sim/simulator.hh"
 #include "sim/sparse_memory.hh"
+
+/**
+ * Assert that @p stmt violates a simulator invariant (BMS_ASSERT* /
+ * BMS_PANIC). Forces PanicMode::Throw for the statement so the
+ * violation surfaces as sim::SimPanic regardless of global mode.
+ */
+#define EXPECT_PANIC(stmt)                                                \
+    do {                                                                  \
+        ::bms::sim::ScopedPanicMode bmsPanicGuard_(                       \
+            ::bms::sim::PanicMode::Throw);                                \
+        EXPECT_THROW({ stmt; }, ::bms::sim::SimPanic);                    \
+    } while (0)
 
 namespace bms::test {
 
