@@ -44,6 +44,11 @@ run_san() {
     cmake -B build-asan -S . -DBMS_SANITIZE="address;undefined" >/dev/null
     cmake --build build-asan -j "${jobs}"
     (cd build-asan && ctest --output-on-failure -j "${jobs}") || fail=1
+    # The fixed-seed fuzz schedule under sanitizers: the torture mix
+    # (splits, upgrades, fault windows) reaches datapaths the unit
+    # tests don't, which is exactly where ASan/UBSan earn their keep.
+    echo "== ASan+UBSan fuzz (fixed seeds) =="
+    ./build-asan/fuzz --seeds=1:8 --horizon-ms=30 || fail=1
 }
 
 case "${mode}" in

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Seed-sweep driver for the whole-stack simulation fuzzer.
+#
+# Usage: scripts/fuzz.sh [START] [COUNT] [extra fuzz flags...]
+#
+#   scripts/fuzz.sh                 # seeds 1..100, default horizon
+#   scripts/fuzz.sh 500 1000        # seeds 500..1499
+#   scripts/fuzz.sh 1 50 --horizon-ms=250 --max-ssds=4
+#
+# Unlike `fuzz --seeds=A:B` (which aborts on the first failure, for
+# ctest/CI), the sweep keeps going past failing seeds and prints the
+# full list at the end, so one overnight run yields every repro:
+#
+#   fuzz --seed=<N>        # replay one failing interleaving
+#
+# BUILD=<dir> selects the build tree (default: build).
+
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD="${BUILD:-build}"
+FUZZ="${BUILD}/fuzz"
+if [ ! -x "${FUZZ}" ]; then
+    echo "fuzz.sh: ${FUZZ} not built (cmake --build ${BUILD} --target fuzz)" >&2
+    exit 2
+fi
+
+start="${1:-1}"
+count="${2:-100}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+failed=()
+for (( seed = start; seed < start + count; seed++ )); do
+    if ! "${FUZZ}" --seed="${seed}" "$@"; then
+        echo "fuzz.sh: FAILING SEED ${seed}" >&2
+        failed+=("${seed}")
+    fi
+done
+
+echo "fuzz.sh: swept seeds ${start}..$(( start + count - 1 )), ${#failed[@]} failure(s)"
+if [ "${#failed[@]}" -ne 0 ]; then
+    echo "fuzz.sh: failing seeds: ${failed[*]}" >&2
+    echo "fuzz.sh: repro with: ${FUZZ} --seed=<N> $*" >&2
+    exit 1
+fi

@@ -39,6 +39,15 @@ void
 HotUpgradeManager::upgrade(int slot, std::vector<std::uint8_t> image,
                            std::function<void(Report)> done)
 {
+    if (_busy.count(slot)) {
+        // A concurrent upgrade on the same slot would interleave two
+        // store/reload-context sequences; reject it cleanly instead.
+        ++_rejected;
+        logWarn("upgrade rejected: slot ", slot, " already mid-upgrade");
+        schedule(0, [done = std::move(done)] { done(Report{}); });
+        return;
+    }
+    _busy.insert(slot);
     auto report = std::make_shared<Report>();
     sim::Tick t0 = now();
 
@@ -62,6 +71,7 @@ HotUpgradeManager::upgrade(int slot, std::vector<std::uint8_t> image,
                 if (!ok) {
                     _engine.reloadIoContext(slot);
                     report->total = now() - t0;
+                    _busy.erase(slot);
                     done(*report);
                     return;
                 }
@@ -88,6 +98,7 @@ HotUpgradeManager::upgrade(int slot, std::vector<std::uint8_t> image,
                                      report->ioPause = report->total;
                                      if (report->ok)
                                          ++_completed;
+                                     _busy.erase(slot);
                                      done(*report);
                                  });
                     });

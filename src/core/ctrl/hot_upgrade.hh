@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <vector>
 
 #include "core/engine/bms_engine.hh"
@@ -69,11 +70,22 @@ class HotUpgradeManager : public sim::SimObject
      * Upgrade the firmware of the SSD in back-end slot @p slot.
      * @p image is the opaque firmware binary. @p done receives the
      * timing report.
+     *
+     * Re-entrant safe: a second upgrade requested for a slot whose
+     * upgrade is still in flight is rejected cleanly (@p done fires
+     * asynchronously with ok=false) instead of interleaving two
+     * store/reload sequences on the same engine context.
      */
     void upgrade(int slot, std::vector<std::uint8_t> image,
                  std::function<void(Report)> done);
 
     std::uint32_t upgradesCompleted() const { return _completed; }
+
+    /** Rejected because the slot was already mid-upgrade. */
+    std::uint32_t upgradesRejected() const { return _rejected; }
+
+    /** True while slot @p slot has an upgrade in flight. */
+    bool upgradeInProgress(int slot) const { return _busy.count(slot); }
 
   private:
     void download(int slot, std::uint64_t offset,
@@ -83,6 +95,8 @@ class HotUpgradeManager : public sim::SimObject
     BmsEngine &_engine;
     Config _cfg;
     std::uint32_t _completed = 0;
+    std::uint32_t _rejected = 0;
+    std::set<int> _busy;
 };
 
 } // namespace bms::core

@@ -122,6 +122,52 @@ NamespaceManager::createAndAttach(pcie::FunctionId fn, std::uint64_t bytes,
     return nsid;
 }
 
+std::optional<std::uint64_t>
+NamespaceManager::grow(pcie::FunctionId fn, std::uint32_t nsid,
+                       std::uint64_t extra_bytes, Policy policy,
+                       int pin_slot)
+{
+    auto it = std::find_if(_records.begin(), _records.end(),
+                           [fn, nsid](const NsRecord &r) {
+                               return r.fn == fn && r.nsid == nsid;
+                           });
+    if (it == _records.end())
+        return std::nullopt;
+    NsBinding *binding = _engine.findBinding(fn, nsid);
+    BMS_ASSERT(binding, "namespace record without engine binding: fn=",
+               fn, " nsid=", nsid);
+
+    std::uint64_t extra_blocks =
+        (extra_bytes + nvme::kBlockSize - 1) / nvme::kBlockSize;
+    std::uint64_t new_blocks = binding->info.sizeBlocks + extra_blocks;
+    std::uint64_t chunk_blocks = chunkBlocks();
+    std::uint64_t chunks_needed =
+        (new_blocks + chunk_blocks - 1) / chunk_blocks;
+    const LbaMapGeometry &geom = binding->map.geometry();
+    if (chunks_needed > static_cast<std::uint64_t>(geom.rows) *
+                            geom.entriesPerRow) {
+        return std::nullopt;
+    }
+    // The mapped chunks may already cover the new size (the original
+    // size was rounded up to whole chunks for allocation).
+    std::uint32_t current = binding->map.validCount();
+    if (chunks_needed > current) {
+        auto allocs = allocate(
+            static_cast<std::uint32_t>(chunks_needed - current), policy,
+            pin_slot);
+        if (!allocs)
+            return std::nullopt;
+        for (const Allocation &a : *allocs) {
+            auto pos = binding->map.appendChunk(a.chunk, a.slot);
+            BMS_ASSERT(pos, "mapping table full despite size check");
+        }
+        it->allocs.insert(it->allocs.end(), allocs->begin(),
+                          allocs->end());
+    }
+    binding->info.sizeBlocks = new_blocks;
+    return new_blocks * nvme::kBlockSize;
+}
+
 bool
 NamespaceManager::destroy(pcie::FunctionId fn, std::uint32_t nsid)
 {

@@ -50,6 +50,19 @@ class NamespaceManager
                     Policy policy = Policy::RoundRobin,
                     QosLimits qos = QosLimits(), int pin_slot = -1);
 
+    /**
+     * Grow an existing namespace by @p extra_bytes, allocating
+     * whatever additional chunks the new advertised size needs. Safe
+     * under live I/O: the mapping table only gains entries, so
+     * in-flight commands to the existing range are unaffected; hosts
+     * see the new size on their next Identify.
+     * @return the new advertised size in bytes, or nullopt when the
+     *         namespace is unknown or chunk/table space is exhausted.
+     */
+    std::optional<std::uint64_t>
+    grow(pcie::FunctionId fn, std::uint32_t nsid, std::uint64_t extra_bytes,
+         Policy policy = Policy::RoundRobin, int pin_slot = -1);
+
     /** Destroy a namespace and free its chunks. */
     bool destroy(pcie::FunctionId fn, std::uint32_t nsid);
 

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Standalone fuzz driver.
+ *
+ *   fuzz [--seed=N | --seeds=A:B] [--horizon-ms=N] [--max-tenants=N]
+ *        [--max-ssds=N] [--no-faults] [--no-control] [--no-upgrade]
+ *        [--paranoid] [--log=LEVEL]
+ *
+ * BMS_FUZZ_SEED=N is equivalent to --seed=N (repro from CI logs).
+ * Exits nonzero on the first failing seed, after printing the seed
+ * and the op log of the interleaving that broke.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/fuzzer.hh"
+#include "harness/runner.hh"
+
+using namespace bms;
+
+namespace {
+
+bool
+parseU64(const char *arg, const char *flag, std::uint64_t &out)
+{
+    std::size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) != 0)
+        return false;
+    out = std::strtoull(arg + n, nullptr, 0);
+    return true;
+}
+
+void
+printReport(const fuzz::FuzzReport &r)
+{
+    std::printf("seed=%llu ok: tenants=%d ssds=%d ops=%llu "
+                "verified-blocks=%llu errors=%llu ctrl=%llu upgrades=%u "
+                "rejected=%u fault-windows=%d media-errors=%llu "
+                "spikes=%llu max-gap=%.1fms\n",
+                static_cast<unsigned long long>(r.seed), r.tenants, r.ssds,
+                static_cast<unsigned long long>(r.totalOps),
+                static_cast<unsigned long long>(r.verifiedBlocks),
+                static_cast<unsigned long long>(r.totalErrors),
+                static_cast<unsigned long long>(r.controlOps), r.upgrades,
+                r.upgradeRejections, r.faultWindows,
+                static_cast<unsigned long long>(r.injectedMediaErrors),
+                static_cast<unsigned long long>(r.injectedLatencySpikes),
+                sim::toMs(r.maxCompletionGap));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::applyCommonFlags(argc, argv);
+
+    fuzz::FuzzConfig cfg;
+    std::uint64_t first = 1, last = 1;
+    bool seeded = false;
+    if (const char *env = std::getenv("BMS_FUZZ_SEED")) {
+        first = last = std::strtoull(env, nullptr, 0);
+        seeded = true;
+    }
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        std::uint64_t v = 0;
+        if (parseU64(a, "--seed=", v)) {
+            first = last = v;
+            seeded = true;
+        } else if (std::strncmp(a, "--seeds=", 8) == 0) {
+            const char *colon = std::strchr(a + 8, ':');
+            if (!colon) {
+                std::fprintf(stderr, "fuzz: --seeds wants A:B\n");
+                return 2;
+            }
+            first = std::strtoull(a + 8, nullptr, 0);
+            last = std::strtoull(colon + 1, nullptr, 0);
+            seeded = true;
+        } else if (parseU64(a, "--horizon-ms=", v)) {
+            cfg.horizon = sim::milliseconds(v);
+        } else if (parseU64(a, "--max-tenants=", v)) {
+            cfg.maxTenants = static_cast<int>(v);
+        } else if (parseU64(a, "--max-ssds=", v)) {
+            cfg.maxSsds = static_cast<int>(v);
+        } else if (std::strcmp(a, "--no-faults") == 0) {
+            cfg.enableFaults = false;
+        } else if (std::strcmp(a, "--no-control") == 0) {
+            cfg.enableControlOps = false;
+        } else if (std::strcmp(a, "--no-upgrade") == 0) {
+            cfg.enableHotUpgrade = false;
+        } else if (std::strncmp(a, "--paranoid", 10) == 0 ||
+                   std::strncmp(a, "--log=", 6) == 0) {
+            // handled by applyCommonFlags
+        } else {
+            std::fprintf(stderr, "fuzz: unknown flag %s\n", a);
+            return 2;
+        }
+    }
+    if (!seeded)
+        std::fprintf(stderr,
+                     "fuzz: no --seed/--seeds given, running seed 1\n");
+
+    for (std::uint64_t seed = first; seed <= last; ++seed) {
+        cfg.seed = seed;
+        // Failures panic (abort) inside run(), printing the seed and
+        // the op log — exactly what a sweep script wants to capture.
+        fuzz::Fuzzer fuzzer(cfg);
+        printReport(fuzzer.run());
+        std::fflush(stdout);
+    }
+    return 0;
+}

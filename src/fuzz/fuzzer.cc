@@ -1,0 +1,428 @@
+#include "fuzz/fuzzer.hh"
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "nvme/defs.hh"
+#include "sim/check.hh"
+
+namespace bms::fuzz {
+
+Fuzzer::Fuzzer(FuzzConfig cfg) : _cfg(cfg), _log(cfg.opLogCapacity)
+{
+    BMS_ASSERT(_cfg.maxTenants >= 1 && _cfg.maxTenants <= 4,
+               "tenants ride on front-end PFs (4 of them): ",
+               _cfg.maxTenants);
+    BMS_ASSERT(_cfg.maxSsds >= 1 && _cfg.maxSsds <= 4,
+               "back end has 4 SSD slots: ", _cfg.maxSsds);
+    BMS_ASSERT(_cfg.horizon >= sim::milliseconds(10),
+               "horizon too short to schedule control ops");
+}
+
+Fuzzer::~Fuzzer() = default;
+
+void
+Fuzzer::fail(const std::string &what)
+{
+    _log.dump(std::cerr);
+    BMS_PANIC("fuzzer: ", what, " [seed=", _cfg.seed, "]");
+}
+
+void
+Fuzzer::buildTenants(sim::Rng &rng)
+{
+    sim::Simulator &sim = _bed->sim();
+    std::uint64_t chunk_bytes =
+        _bed->controller().namespaces().chunkBlocks() * nvme::kBlockSize;
+    int tenants = 1 + static_cast<int>(
+                          rng.uniformInt(0, _cfg.maxTenants - 1));
+    for (int t = 0; t < tenants; ++t) {
+        auto fn = static_cast<pcie::FunctionId>(t);
+        // One or two 64 GiB chunks; two-chunk namespaces host their
+        // verified window across the chunk boundary so every run with
+        // them exercises the engine's extent-splitting path.
+        int ns_chunks = rng.chance(0.5) ? 2 : 1;
+        std::uint64_t ns_bytes = ns_chunks * chunk_bytes;
+        host::NvmeDriver &drv = _bed->attachTenant(fn, ns_bytes);
+
+        OracleDevice::Config ocfg;
+        ocfg.uid = static_cast<std::uint32_t>(t + 1);
+        ocfg.seed = _cfg.seed;
+        ocfg.regionBytes = sim::mib(2 + rng.uniformInt(0, 6));
+        if (ns_chunks >= 2) {
+            ocfg.baseOffset = chunk_bytes - ocfg.regionBytes / 2;
+        } else {
+            std::uint64_t span_blocks =
+                (ns_bytes - ocfg.regionBytes) / nvme::kBlockSize;
+            ocfg.baseOffset =
+                rng.uniformInt(0, span_blocks) * nvme::kBlockSize;
+        }
+        auto *oracle = sim.make<OracleDevice>(
+            sim, "oracle" + std::to_string(t), drv,
+            _bed->host().memory(), _log, ocfg);
+
+        TenantSpec spec;
+        spec.iodepth = 1 + static_cast<int>(rng.uniformInt(0, 15));
+        spec.readRatio = rng.uniformDouble(0.2, 0.8);
+        spec.flushProb = 0.005;
+        spec.minIoBlocks = 1;
+        spec.maxIoBlocks = 1u << rng.uniformInt(0, 5); // 4 KiB..128 KiB
+        spec.sequential = rng.chance(0.3);
+        auto *wl = sim.make<TenantWorkload>(
+            sim, "tenant" + std::to_string(t), *oracle, rng.fork(), spec);
+        _tenants.push_back(Tenant{fn, oracle, wl});
+        wl->start();
+    }
+}
+
+void
+Fuzzer::scheduleControlOps(sim::Rng &rng)
+{
+    if (!_cfg.enableControlOps)
+        return;
+    sim::Simulator &sim = _bed->sim();
+    core::MgmtConsole &console = _bed->console();
+    core::Eid eid = _bed->controller().endpoint().eid();
+    int pf_count = _bed->engine().config().pfCount;
+    int n = 4 + static_cast<int>(rng.uniformInt(0, 6));
+    for (int i = 0; i < n; ++i) {
+        sim::Tick at =
+            _start + static_cast<sim::Tick>(
+                         rng.uniformDouble(0.05, 0.95) *
+                         static_cast<double>(_cfg.horizon));
+        int kind = static_cast<int>(rng.uniformInt(0, 4));
+        auto tenant_ix = rng.uniformInt(0, _tenants.size() - 1);
+        auto fn = _tenants[tenant_ix].fn;
+        switch (kind) {
+          case 0:
+            ++_pendingControl;
+            sim.scheduleAt(at, [this, &console, eid] {
+                _log.record(_bed->sim().now(), "ctrl healthPoll");
+                console.healthPoll(eid, [this](std::vector<core::SlotHealth>
+                                                   health) {
+                    BMS_ASSERT(!health.empty(), "health poll empty");
+                    ++_controlOps;
+                    --_pendingControl;
+                });
+            });
+            break;
+          case 1:
+            ++_pendingControl;
+            sim.scheduleAt(at, [this, &console, eid, fn] {
+                _log.record(_bed->sim().now(),
+                            "ctrl ioStats fn=" + std::to_string(fn));
+                console.ioStats(
+                    eid, static_cast<std::uint8_t>(fn),
+                    [this](std::optional<core::MiIoStats> stats) {
+                        BMS_ASSERT(stats.has_value(),
+                                   "ioStats on live tenant failed");
+                        ++_controlOps;
+                        --_pendingControl;
+                    });
+            });
+            break;
+          case 2: {
+            // Generous limits: exercises the QoS reprogramming path
+            // mid-I/O without throttling tenants into the drain phase.
+            core::QosLimits qos;
+            qos.iopsLimit = 200'000.0 + 100'000.0 * rng.uniform01();
+            ++_pendingControl;
+            sim.scheduleAt(at, [this, &console, eid, fn, qos] {
+                _log.record(_bed->sim().now(),
+                            "ctrl setQos fn=" + std::to_string(fn));
+                console.setQos(eid, static_cast<std::uint8_t>(fn), 1, qos,
+                               [this](bool ok) {
+                                   BMS_ASSERT(ok, "setQos failed");
+                                   ++_controlOps;
+                                   --_pendingControl;
+                               });
+            });
+            break;
+          }
+          case 3: {
+            // Scratch namespace life cycle on an idle VF: allocate a
+            // chunk mid-I/O, destroy it a little later.
+            auto vf = static_cast<std::uint8_t>(
+                pf_count + rng.uniformInt(0, 3));
+            std::uint64_t bytes =
+                _bed->controller().namespaces().chunkBlocks() *
+                nvme::kBlockSize;
+            sim::Tick destroy_after =
+                sim::milliseconds(1 + rng.uniformInt(0, 20));
+            ++_pendingControl;
+            sim.scheduleAt(at, [this, &console, eid, vf, bytes,
+                                destroy_after] {
+                _log.record(_bed->sim().now(),
+                            "ctrl createNs vf=" + std::to_string(vf));
+                console.createNamespace(
+                    eid, vf, bytes, 0, core::QosLimits(),
+                    [this, &console, eid, vf,
+                     destroy_after](std::optional<std::uint32_t> nsid) {
+                        ++_controlOps;
+                        if (!nsid) {
+                            // Legal under chunk exhaustion.
+                            --_pendingControl;
+                            return;
+                        }
+                        _bed->sim().scheduleAfter(
+                            destroy_after, [this, &console, eid, vf,
+                                            nsid = *nsid] {
+                                _log.record(_bed->sim().now(),
+                                            "ctrl destroyNs vf=" +
+                                                std::to_string(vf));
+                                console.destroyNamespace(
+                                    eid, vf, nsid, [this](bool ok) {
+                                        BMS_ASSERT(
+                                            ok,
+                                            "scratch namespace destroy "
+                                            "failed");
+                                        ++_controlOps;
+                                        --_pendingControl;
+                                    });
+                            });
+                    });
+            });
+            break;
+          }
+          default: {
+            // Live resize: grow a tenant namespace by one chunk while
+            // its I/O is in flight (local control-plane op).
+            std::uint64_t extra =
+                _bed->controller().namespaces().chunkBlocks() *
+                nvme::kBlockSize;
+            sim.scheduleAt(at, [this, fn, extra] {
+                auto grown = _bed->controller().namespaces().grow(
+                    fn, 1, extra);
+                _log.record(_bed->sim().now(),
+                            "ctrl grow fn=" + std::to_string(fn) +
+                                (grown ? " ok" : " exhausted"));
+                ++_controlOps;
+            });
+            break;
+          }
+        }
+    }
+}
+
+void
+Fuzzer::scheduleUpgrades(sim::Rng &rng)
+{
+    if (!_cfg.enableHotUpgrade)
+        return;
+    if (!_cfg.forceUpgrade && !rng.chance(0.6))
+        return;
+    sim::Simulator &sim = _bed->sim();
+    core::Eid eid = _bed->controller().endpoint().eid();
+    int slot = _cfg.forceUpgrade
+                   ? 0
+                   : static_cast<int>(
+                         rng.uniformInt(0, _bed->ssdCount() - 1));
+    sim::Tick at =
+        _cfg.forceUpgrade
+            ? _start + _cfg.horizon / 4
+            : _start + static_cast<sim::Tick>(
+                           rng.uniformDouble(0.1, 0.5) *
+                           static_cast<double>(_cfg.horizon));
+    ++_pendingControl;
+    sim.scheduleAt(at, [this, eid, slot] {
+        _log.record(_bed->sim().now(),
+                    "ctrl hotUpgrade slot=" + std::to_string(slot));
+        _bed->console().firmwareUpgrade(
+            eid, static_cast<std::uint8_t>(slot), 1u << 20,
+            [this](core::MiUpgradeResult r) {
+                if (!r.ok)
+                    fail("hot upgrade reported failure");
+                ++_upgrades;
+                --_pendingControl;
+            });
+    });
+    if (_cfg.forceUpgrade || rng.chance(0.5)) {
+        // Concurrent-upgrade probe: a second request for the same slot
+        // while the first is mid-flight must be rejected cleanly, not
+        // interleave two context store/reload sequences.
+        ++_pendingControl;
+        sim.scheduleAt(at + sim::milliseconds(20), [this, slot] {
+            _log.record(_bed->sim().now(),
+                        "ctrl hotUpgrade(probe) slot=" +
+                            std::to_string(slot));
+            _bed->controller().hotUpgrade().upgrade(
+                slot, std::vector<std::uint8_t>(4096, 0xAB),
+                [this](core::HotUpgradeManager::Report r) {
+                    if (r.ok)
+                        ++_upgrades; // first finished unusually fast
+                    --_pendingControl;
+                });
+        });
+    }
+}
+
+void
+Fuzzer::scheduleFaultWindows(sim::Rng &rng)
+{
+    if (!_cfg.enableFaults)
+        return;
+    sim::Simulator &sim = _bed->sim();
+    int windows = static_cast<int>(rng.uniformInt(0, 2));
+    for (int w = 0; w < windows; ++w) {
+        sim::Tick t0 =
+            _start + static_cast<sim::Tick>(
+                         rng.uniformDouble(0.05, 0.7) *
+                         static_cast<double>(_cfg.horizon));
+        sim::Tick t1 = t0 + static_cast<sim::Tick>(
+                                rng.uniformDouble(0.05, 0.25) *
+                                static_cast<double>(_cfg.horizon));
+        std::vector<ssd::FaultConfig> rates(_bed->ssdCount());
+        for (auto &r : rates) {
+            if (!rng.chance(0.7))
+                continue;
+            r.readErrorRate = rng.uniformDouble(0.002, 0.05);
+            r.writeErrorRate = rng.uniformDouble(0.002, 0.05);
+            r.latencySpikeRate = rng.uniformDouble(0.005, 0.05);
+        }
+        sim.scheduleAt(t0, [this, rates] {
+            _log.record(_bed->sim().now(), "fault window OPEN");
+            ++_faultWindows;
+            _faultsEverActive = true;
+            for (int s = 0; s < _bed->ssdCount(); ++s)
+                _bed->ssd(s).faults() = rates[static_cast<std::size_t>(s)];
+            // The oracle stays lenient about *failed* I/Os for the
+            // rest of the run: commands submitted around the window
+            // edges (or latched across a hot-upgrade pause) may fail
+            // long after the rates drop back to zero. Data
+            // verification of successful reads is never relaxed.
+            for (Tenant &t : _tenants)
+                t.oracle->setFaultsActive(true);
+        });
+        sim.scheduleAt(t1, [this] {
+            _log.record(_bed->sim().now(), "fault window CLOSE");
+            for (int s = 0; s < _bed->ssdCount(); ++s)
+                _bed->ssd(s).faults() = ssd::FaultConfig{};
+        });
+    }
+}
+
+void
+Fuzzer::drain(const char *stage, const std::function<bool()> &done,
+              sim::Tick timeout)
+{
+    sim::Simulator &sim = _bed->sim();
+    sim::Tick deadline = sim.now() + timeout;
+    while (!done()) {
+        if (sim.now() >= deadline)
+            fail(std::string("drain timed out at stage '") + stage + "'");
+        sim.runUntil(sim.now() + sim::milliseconds(1));
+    }
+}
+
+void
+Fuzzer::finalSweep()
+{
+    // Read back every verified block once, sequentially: whatever the
+    // schedule left behind must decode to an acceptable stamp.
+    int pending = 0;
+    std::uint64_t sweep_errors = 0;
+    for (Tenant &t : _tenants) {
+        std::uint32_t step = t.oracle->maxIoBlocks();
+        for (std::uint64_t b = 0; b < t.oracle->blocks(); b += step) {
+            auto n = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(step, t.oracle->blocks() - b));
+            ++pending;
+            t.oracle->read(b, n, [&pending, &sweep_errors](bool ok) {
+                --pending;
+                if (!ok)
+                    ++sweep_errors;
+            });
+        }
+    }
+    drain("final sweep", [&pending] { return pending == 0; },
+          sim::seconds(30));
+    BMS_ASSERT_EQ(sweep_errors, 0u,
+                  "final sweep reads failed with fault rates at zero");
+}
+
+FuzzReport
+Fuzzer::run()
+{
+    sim::Rng rng(_cfg.seed ^ 0xfa57'f00d'5eedULL);
+    // Topology from the seed.
+    int ssds = 1 + static_cast<int>(rng.uniformInt(0, _cfg.maxSsds - 1));
+    harness::TestbedConfig tb;
+    tb.ssdCount = ssds;
+    tb.seed = _cfg.seed;
+    tb.ssd.functionalData = true;
+    // Occasionally run the store-and-forward ablation datapath.
+    tb.engine.zeroCopy = !rng.chance(0.2);
+    _bed = std::make_unique<harness::BmStoreTestbed>(tb);
+    _start = _bed->sim().now();
+    _log.record(_start, "run start: seed=" + std::to_string(_cfg.seed) +
+                            " ssds=" + std::to_string(ssds));
+
+    buildTenants(rng);
+    // Tenant bring-up (driver init, namespace attach) advances the
+    // clock; the torture window opens after it, so every scheduled
+    // event lands in the future even for short horizons.
+    _start = _bed->sim().now();
+    scheduleControlOps(rng);
+    scheduleUpgrades(rng);
+    scheduleFaultWindows(rng);
+
+    _bed->sim().runUntil(_start + _cfg.horizon);
+
+    // Stop tenants and wait out everything in flight — including I/O
+    // latched across a multi-second firmware activation stall.
+    int drained = 0;
+    for (Tenant &t : _tenants)
+        t.workload->stop([&drained] { ++drained; });
+    int tenants = static_cast<int>(_tenants.size());
+    drain("tenant+control drain",
+          [this, &drained, tenants] {
+              return drained == tenants && _pendingControl == 0;
+          },
+          sim::seconds(40));
+    finalSweep();
+
+    // Whole-structure checks after the dust settles.
+    for (int s = 0; s < _bed->ssdCount(); ++s)
+        BMS_ASSERT_EQ(_bed->engine().adaptor(s).inflight(), 0u,
+                      "adaptor ", s, " left with in-flight commands");
+    for (Tenant &t : _tenants) {
+        core::NsBinding *b = _bed->engine().findBinding(t.fn, 1);
+        BMS_ASSERT(b, "tenant binding vanished: fn=", t.fn);
+        b->map.checkInvariants();
+    }
+
+    FuzzReport rep;
+    rep.seed = _cfg.seed;
+    rep.tenants = tenants;
+    rep.ssds = ssds;
+    for (Tenant &t : _tenants) {
+        rep.totalOps += t.workload->ops();
+        rep.totalErrors += t.workload->errors();
+        rep.verifiedBlocks += t.oracle->verifiedBlocks();
+        if (t.workload->maxCompletionGap() > rep.maxCompletionGap)
+            rep.maxCompletionGap = t.workload->maxCompletionGap();
+    }
+    rep.controlOps = _controlOps;
+    rep.upgrades = _upgrades;
+    rep.upgradeRejections =
+        _bed->controller().hotUpgrade().upgradesRejected();
+    rep.faultWindows = _faultWindows;
+    for (int s = 0; s < _bed->ssdCount(); ++s) {
+        rep.injectedMediaErrors += _bed->ssd(s).mediaErrors();
+        rep.injectedLatencySpikes += _bed->ssd(s).latencySpikes();
+    }
+    rep.finishedAt = _bed->sim().now();
+
+    if (!_faultsEverActive && rep.totalErrors != 0)
+        fail("tenant I/O failed without any fault window");
+    // The longest stall must stay well inside the host NVMe timeout
+    // (30 s) or the transparency story breaks.
+    if (rep.maxCompletionGap > sim::seconds(10))
+        fail("completion gap exceeded 10 s: " +
+             std::to_string(sim::toMs(rep.maxCompletionGap)) + " ms");
+    return rep;
+}
+
+} // namespace bms::fuzz

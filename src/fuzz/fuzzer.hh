@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Whole-stack simulation fuzzer (FoundationDB-style torture test).
+ *
+ * One 64-bit seed deterministically generates:
+ *   - a random topology (SSD count, tenant count, namespace shapes,
+ *     zero-copy vs store-and-forward engine),
+ *   - concurrent tenant workloads, each verified block-for-block by a
+ *     write-stamp OracleDevice,
+ *   - mid-I/O control-plane traffic over the out-of-band console
+ *     (health polls, I/O stats, QoS reprogramming, scratch namespace
+ *     create/destroy, live namespace grow),
+ *   - SSD firmware hot-upgrades under load (plus a concurrent-upgrade
+ *     rejection probe),
+ *   - fault-injection windows (media read/write errors, latency
+ *     spikes) on the back-end SSDs.
+ *
+ * Everything runs on the simulator clock, so a failing seed replays
+ * the exact interleaving: `fuzz --seed=N` (or BMS_FUZZ_SEED=N).
+ */
+
+#ifndef BMS_FUZZ_FUZZER_HH
+#define BMS_FUZZ_FUZZER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fuzz/op_log.hh"
+#include "fuzz/oracle.hh"
+#include "fuzz/schedule.hh"
+#include "harness/testbeds.hh"
+
+namespace bms::fuzz {
+
+/** One fuzz run's knobs (everything else comes from the seed). */
+struct FuzzConfig
+{
+    std::uint64_t seed = 1;
+    /** Measured torture window (control ops land inside it). */
+    sim::Tick horizon = sim::milliseconds(120);
+    int maxTenants = 3; ///< 1..4 (front-end PFs)
+    int maxSsds = 2;
+    bool enableFaults = true;
+    bool enableControlOps = true;
+    bool enableHotUpgrade = true;
+    /** Always schedule exactly one slot-0 upgrade (availability
+     *  tests want the hiccup deterministically present). */
+    bool forceUpgrade = false;
+    std::size_t opLogCapacity = 256;
+};
+
+/** Deterministic outcome summary of one run. */
+struct FuzzReport
+{
+    std::uint64_t seed = 0;
+    int tenants = 0;
+    int ssds = 0;
+    std::uint64_t totalOps = 0;
+    std::uint64_t totalErrors = 0; ///< failed tenant I/Os (all excused)
+    std::uint64_t verifiedBlocks = 0;
+    std::uint64_t controlOps = 0;
+    std::uint32_t upgrades = 0;
+    std::uint32_t upgradeRejections = 0;
+    int faultWindows = 0;
+    std::uint64_t injectedMediaErrors = 0;
+    std::uint64_t injectedLatencySpikes = 0;
+    /** Longest tenant submit→complete span (upgrade pause shows up
+     *  here; must stay under the 30 s host NVMe timeout). */
+    sim::Tick maxCompletionGap = 0;
+    sim::Tick finishedAt = 0;
+};
+
+/** Builds the testbed from the seed and runs one torture schedule. */
+class Fuzzer
+{
+  public:
+    explicit Fuzzer(FuzzConfig cfg);
+    ~Fuzzer();
+
+    /** Run to completion; panics (with seed + op log) on any oracle
+     *  or invariant violation. */
+    FuzzReport run();
+
+  private:
+    struct Tenant
+    {
+        pcie::FunctionId fn = 0;
+        OracleDevice *oracle = nullptr;
+        TenantWorkload *workload = nullptr;
+    };
+
+    void buildTenants(sim::Rng &rng);
+    void scheduleControlOps(sim::Rng &rng);
+    void scheduleUpgrades(sim::Rng &rng);
+    void scheduleFaultWindows(sim::Rng &rng);
+    void drain(const char *stage, const std::function<bool()> &done,
+               sim::Tick timeout);
+    void finalSweep();
+    [[noreturn]] void fail(const std::string &what);
+
+    FuzzConfig _cfg;
+    OpLog _log;
+    std::unique_ptr<harness::BmStoreTestbed> _bed;
+    std::vector<Tenant> _tenants;
+    sim::Tick _start = 0; ///< tick when the torture window opened
+    int _pendingControl = 0;
+    std::uint64_t _controlOps = 0;
+    std::uint32_t _upgrades = 0;
+    int _faultWindows = 0;
+    bool _faultsEverActive = false;
+};
+
+} // namespace bms::fuzz
+
+#endif // BMS_FUZZ_FUZZER_HH

@@ -1,0 +1,39 @@
+#include "fuzz/op_log.hh"
+
+#include <utility>
+
+#include "sim/check.hh"
+
+namespace bms::fuzz {
+
+OpLog::OpLog(std::size_t capacity)
+{
+    BMS_ASSERT(capacity > 0, "op log needs a nonzero capacity");
+    _ring.resize(capacity);
+}
+
+void
+OpLog::record(sim::Tick tick, std::string what)
+{
+    _ring[_next].tick = tick;
+    _ring[_next].what = std::move(what);
+    _next = (_next + 1) % _ring.size();
+    ++_total;
+}
+
+void
+OpLog::dump(std::ostream &os) const
+{
+    std::size_t retained = _total < _ring.size() ? _total : _ring.size();
+    os << "---- fuzz op log (last " << retained << " of " << _total
+       << " ops) ----\n";
+    // Oldest retained entry: _next when the ring has wrapped, else 0.
+    std::size_t start = _total < _ring.size() ? 0 : _next;
+    for (std::size_t i = 0; i < retained; ++i) {
+        const Entry &e = _ring[(start + i) % _ring.size()];
+        os << "  [" << e.tick << "] " << e.what << "\n";
+    }
+    os << "---- end op log ----\n";
+}
+
+} // namespace bms::fuzz

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bounded operation trace for the simulation fuzzer.
+ *
+ * Every oracle I/O, fault-window transition, and control-plane
+ * operation appends one line to a fixed-size ring. When the oracle
+ * (or any invariant) trips, the ring holds the last N events leading
+ * up to the failure — enough context to read the interleaving that
+ * broke, without unbounded memory during long seed sweeps.
+ */
+
+#ifndef BMS_FUZZ_OP_LOG_HH
+#define BMS_FUZZ_OP_LOG_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bms::fuzz {
+
+/** Fixed-capacity ring of the most recent fuzzer events. */
+class OpLog
+{
+  public:
+    explicit OpLog(std::size_t capacity = 256);
+
+    /** Append one event (overwrites the oldest once full). */
+    void record(sim::Tick tick, std::string what);
+
+    /** Print the retained events, oldest first. */
+    void dump(std::ostream &os) const;
+
+    /** Total events ever recorded (not just retained). */
+    std::size_t recorded() const { return _total; }
+
+    std::size_t capacity() const { return _ring.size(); }
+
+  private:
+    struct Entry
+    {
+        sim::Tick tick = 0;
+        std::string what;
+    };
+
+    std::vector<Entry> _ring;
+    std::size_t _next = 0;
+    std::size_t _total = 0;
+};
+
+} // namespace bms::fuzz
+
+#endif // BMS_FUZZ_OP_LOG_HH

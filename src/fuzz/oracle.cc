@@ -1,0 +1,295 @@
+#include "fuzz/oracle.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "nvme/defs.hh"
+#include "sim/check.hh"
+
+namespace bms::fuzz {
+
+namespace {
+
+/** Pattern salt base; xor'd with the oracle uid per word group. */
+constexpr std::uint64_t kMagic = 0xb35ee0f5'0c1e0000ULL;
+constexpr std::uint32_t kWordsPerBlock = nvme::kBlockSize / 8;
+
+std::uint64_t
+mixWord(std::uint32_t uid, std::uint64_t block, std::uint64_t stamp)
+{
+    std::uint64_t v = (static_cast<std::uint64_t>(uid) << 48) ^ block ^
+                      (stamp * 0x9e3779b97f4a7c15ULL);
+    v ^= v >> 29;
+    return v;
+}
+
+} // namespace
+
+OracleDevice::OracleDevice(sim::Simulator &sim, std::string name,
+                           host::BlockDeviceIf &dev, host::HostMemory &mem,
+                           OpLog &log, Config cfg)
+    : SimObject(sim, std::move(name)), _dev(dev), _mem(mem), _log(log),
+      _cfg(cfg)
+{
+    BMS_ASSERT(_cfg.regionBytes >= nvme::kBlockSize,
+               "oracle window smaller than one block");
+    BMS_ASSERT_EQ(_cfg.regionBytes % nvme::kBlockSize, 0u,
+                  "oracle window must be block aligned");
+    BMS_ASSERT_EQ(_cfg.baseOffset % nvme::kBlockSize, 0u,
+                  "oracle window offset must be block aligned");
+    BMS_ASSERT(_cfg.maxIoBytes >= nvme::kBlockSize &&
+                   _cfg.maxIoBytes % nvme::kBlockSize == 0,
+               "bad oracle maxIoBytes: ", _cfg.maxIoBytes);
+    _state.resize(_cfg.regionBytes / nvme::kBlockSize);
+}
+
+std::uint32_t
+OracleDevice::maxIoBlocks() const
+{
+    return _cfg.maxIoBytes / nvme::kBlockSize;
+}
+
+std::uint64_t
+OracleDevice::acquireBuffer()
+{
+    if (!_bufPool.empty()) {
+        std::uint64_t addr = _bufPool.back();
+        _bufPool.pop_back();
+        return addr;
+    }
+    // Page alignment matters: chunk-straddling commands are split into
+    // extents and require page-aligned PRPs (engine invariant).
+    return _mem.alloc(_cfg.maxIoBytes, nvme::kPageSize);
+}
+
+void
+OracleDevice::releaseBuffer(std::uint64_t addr)
+{
+    _bufPool.push_back(addr);
+}
+
+void
+OracleDevice::fillPattern(std::uint8_t *buf, std::uint64_t block,
+                          std::uint64_t stamp) const
+{
+    auto *words = reinterpret_cast<std::uint64_t *>(buf);
+    for (std::uint32_t k = 0; k < kWordsPerBlock; k += 4) {
+        words[k] = kMagic ^ _cfg.uid;
+        words[k + 1] = block;
+        words[k + 2] = stamp;
+        words[k + 3] = mixWord(_cfg.uid, block, stamp);
+    }
+}
+
+void
+OracleDevice::fail(const std::string &what)
+{
+    _log.dump(std::cerr);
+    BMS_PANIC("fuzz oracle ", name(), ": ", what,
+              " [seed=", _cfg.seed, " tick=", now(), "]");
+}
+
+std::uint64_t
+OracleDevice::verifyBlock(const std::uint8_t *img, std::uint64_t block,
+                          const std::vector<std::uint64_t> &valid)
+{
+    const auto *words = reinterpret_cast<const std::uint64_t *>(img);
+    bool all_zero =
+        std::all_of(words, words + kWordsPerBlock,
+                    [](std::uint64_t w) { return w == 0; });
+    std::uint64_t stamp = all_zero ? 0 : words[2];
+    if (std::find(valid.begin(), valid.end(), stamp) == valid.end()) {
+        std::ostringstream os;
+        os << "block " << block << " decoded stamp " << stamp
+           << " not in acceptable set {";
+        for (std::uint64_t s : valid)
+            os << " " << s;
+        os << " }";
+        fail(os.str());
+    }
+    if (all_zero)
+        return 0;
+    for (std::uint32_t k = 0; k < kWordsPerBlock; k += 4) {
+        if (words[k] != (kMagic ^ _cfg.uid) || words[k + 1] != block ||
+            words[k + 2] != stamp ||
+            words[k + 3] != mixWord(_cfg.uid, block, stamp)) {
+            std::ostringstream os;
+            os << "block " << block << " torn at word " << k
+               << ": got {" << std::hex << words[k] << ", " << words[k + 1]
+               << ", " << words[k + 2] << ", " << words[k + 3]
+               << "}, expected stamp " << std::dec << stamp;
+            fail(os.str());
+        }
+    }
+    return stamp;
+}
+
+void
+OracleDevice::write(std::uint64_t block, std::uint32_t nblocks,
+                    std::function<void(bool)> done)
+{
+    BMS_ASSERT(nblocks > 0 && nblocks <= maxIoBlocks(),
+               "oracle write size out of range: ", nblocks);
+    BMS_ASSERT_LE(block + nblocks, blocks(), "oracle write out of window");
+    std::uint64_t stamp = ++_nextStamp;
+    for (std::uint64_t b = block; b < block + nblocks; ++b) {
+        BMS_ASSERT_EQ(_state[b].inflight, 0u,
+                      "overlapping in-flight writes on block ", b,
+                      " (generator bug)");
+        _state[b].inflight = stamp;
+        // The stamp's data may land on media any time from now on.
+        _state[b].lives.push_back(StampLife{stamp, now(), kNever});
+    }
+    std::uint32_t len = nblocks * nvme::kBlockSize;
+    std::uint64_t buf = acquireBuffer();
+    std::vector<std::uint8_t> img(len);
+    for (std::uint32_t i = 0; i < nblocks; ++i)
+        fillPattern(img.data() + i * nvme::kBlockSize, block + i, stamp);
+    _mem.write(buf, len, img.data());
+
+    bool faulty_at_submit = _faultsActive;
+    ++_writes;
+    _log.record(now(), name() + " write  blk=" + std::to_string(block) +
+                           "+" + std::to_string(nblocks) +
+                           " stamp=" + std::to_string(stamp));
+
+    host::BlockRequest req;
+    req.op = host::BlockRequest::Op::Write;
+    req.offset = _cfg.baseOffset + block * nvme::kBlockSize;
+    req.len = len;
+    req.dataAddr = buf;
+    req.done = [this, block, nblocks, stamp, buf, faulty_at_submit,
+                done = std::move(done)](bool ok) {
+        releaseBuffer(buf);
+        // Oldest in-flight read submit tick: dead stamps no read can
+        // observe any more are pruned below.
+        sim::Tick prune_before = now();
+        for (sim::Tick t : _readSubmits)
+            prune_before = std::min(prune_before, t);
+        for (std::uint64_t b = block; b < block + nblocks; ++b) {
+            BlockState &st = _state[b];
+            if (st.inflight == stamp)
+                st.inflight = 0;
+            if (ok) {
+                // Read-your-writes: every older stamp is dead from
+                // here on (the overwrite committed no later than this
+                // completion).  A failed write's stamp instead stays
+                // alive next to the old ones — it may have partially
+                // committed (per-extent splits).
+                for (StampLife &l : st.lives)
+                    if (l.died == kNever && l.stamp != stamp)
+                        l.died = now();
+            }
+            std::erase_if(st.lives, [prune_before](const StampLife &l) {
+                return l.died < prune_before;
+            });
+        }
+        if (!ok) {
+            if (!faulty_at_submit && !_faultsActive)
+                fail("write stamp=" + std::to_string(stamp) +
+                     " blk=" + std::to_string(block) + "+" +
+                     std::to_string(nblocks) +
+                     " failed with no fault injection active");
+            ++_excusedErrors;
+            _log.record(now(), name() + " write-FAILED(excused) stamp=" +
+                                   std::to_string(stamp));
+        }
+        if (done)
+            done(ok);
+    };
+    _dev.submit(std::move(req));
+}
+
+void
+OracleDevice::read(std::uint64_t block, std::uint32_t nblocks,
+                   std::function<void(bool)> done)
+{
+    BMS_ASSERT(nblocks > 0 && nblocks <= maxIoBlocks(),
+               "oracle read size out of range: ", nblocks);
+    BMS_ASSERT_LE(block + nblocks, blocks(), "oracle read out of window");
+    std::uint32_t len = nblocks * nvme::kBlockSize;
+    std::uint64_t buf = acquireBuffer();
+    bool faulty_at_submit = _faultsActive;
+    sim::Tick submitted = now();
+    _readSubmits.push_back(submitted);
+    ++_reads;
+    _log.record(now(), name() + " read   blk=" + std::to_string(block) +
+                           "+" + std::to_string(nblocks));
+
+    host::BlockRequest req;
+    req.op = host::BlockRequest::Op::Read;
+    req.offset = _cfg.baseOffset + block * nvme::kBlockSize;
+    req.len = len;
+    req.dataAddr = buf;
+    req.done = [this, block, nblocks, len, buf, submitted, faulty_at_submit,
+                done = std::move(done)](bool ok) {
+        auto it = std::find(_readSubmits.begin(), _readSubmits.end(),
+                            submitted);
+        BMS_ASSERT(it != _readSubmits.end(), "read submit tick lost");
+        _readSubmits.erase(it);
+        if (!ok) {
+            releaseBuffer(buf);
+            if (!faulty_at_submit && !_faultsActive)
+                fail("read blk=" + std::to_string(block) + "+" +
+                     std::to_string(nblocks) +
+                     " failed with no fault injection active");
+            ++_excusedErrors;
+            _log.record(now(), name() + " read-FAILED(excused) blk=" +
+                                   std::to_string(block));
+            if (done)
+                done(false);
+            return;
+        }
+        std::vector<std::uint8_t> img(len);
+        _mem.read(buf, len, img.data());
+        releaseBuffer(buf);
+        for (std::uint32_t i = 0; i < nblocks; ++i) {
+            std::uint64_t b = block + i;
+            // Legal stamps: lifetime overlaps this read's flight.
+            // (born <= now() holds for every recorded entry, so only
+            // the death side needs checking.)
+            std::vector<std::uint64_t> valid;
+            for (const StampLife &l : _state[b].lives)
+                if (l.died >= submitted)
+                    valid.push_back(l.stamp);
+            verifyBlock(img.data() + i * nvme::kBlockSize, b, valid);
+            ++_verifiedBlocks;
+        }
+        if (done)
+            done(true);
+    };
+    _dev.submit(std::move(req));
+}
+
+void
+OracleDevice::flush(std::function<void(bool)> done)
+{
+    ++_flushes;
+    _log.record(now(), name() + " flush");
+    host::BlockRequest req;
+    req.op = host::BlockRequest::Op::Flush;
+    req.done = [this, done = std::move(done)](bool ok) {
+        if (!ok)
+            fail("flush failed (flushes never carry injected faults)");
+        if (done)
+            done(true);
+    };
+    _dev.submit(std::move(req));
+}
+
+bool
+OracleDevice::writeInflight(std::uint64_t block,
+                            std::uint32_t nblocks) const
+{
+    for (std::uint64_t b = block;
+         b < block + nblocks && b < _state.size(); ++b) {
+        if (_state[b].inflight)
+            return true;
+    }
+    return false;
+}
+
+} // namespace bms::fuzz

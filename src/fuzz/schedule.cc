@@ -1,0 +1,117 @@
+#include "fuzz/schedule.hh"
+
+#include <utility>
+
+#include "sim/check.hh"
+
+namespace bms::fuzz {
+
+TenantWorkload::TenantWorkload(sim::Simulator &sim, std::string name,
+                               OracleDevice &dev, sim::Rng rng,
+                               TenantSpec spec)
+    : SimObject(sim, std::move(name)), _dev(dev), _rng(rng), _spec(spec)
+{
+    BMS_ASSERT(_spec.iodepth >= 1, "tenant iodepth must be >= 1");
+    BMS_ASSERT(_spec.minIoBlocks >= 1 &&
+                   _spec.minIoBlocks <= _spec.maxIoBlocks &&
+                   _spec.maxIoBlocks <= _dev.maxIoBlocks(),
+               "bad tenant I/O size range");
+}
+
+void
+TenantWorkload::start()
+{
+    BMS_ASSERT(!_running, "tenant workload started twice");
+    _running = true;
+    pump();
+}
+
+void
+TenantWorkload::stop(std::function<void()> drained)
+{
+    _stopping = true;
+    if (_outstanding == 0) {
+        schedule(0, [drained = std::move(drained)] {
+            if (drained)
+                drained();
+        });
+        return;
+    }
+    _drained = std::move(drained);
+}
+
+void
+TenantWorkload::pump()
+{
+    while (!_stopping &&
+           _outstanding < static_cast<std::uint32_t>(_spec.iodepth)) {
+        issueOne();
+    }
+}
+
+void
+TenantWorkload::issueOne()
+{
+    ++_outstanding;
+    sim::Tick submitted = now();
+    auto on_done = [this, submitted](bool ok) { completed(submitted, ok); };
+
+    if (_rng.chance(_spec.flushProb)) {
+        _dev.flush(on_done);
+        return;
+    }
+
+    std::uint32_t nblocks = static_cast<std::uint32_t>(
+        _rng.uniformInt(_spec.minIoBlocks, _spec.maxIoBlocks));
+    std::uint64_t span = _dev.blocks() - nblocks;
+    auto pick = [&]() -> std::uint64_t {
+        if (!_spec.sequential)
+            return _rng.uniformInt(0, span);
+        // The cursor survives across ops of different sizes: clamp it
+        // into the span that is valid for *this* op's size.
+        std::uint64_t b = _seqCursor % (span + 1);
+        _seqCursor = (b + nblocks) % (span + 1);
+        return b;
+    };
+
+    if (_rng.chance(_spec.readRatio)) {
+        _dev.read(pick(), nblocks, on_done);
+        return;
+    }
+    // Writes must not overlap an in-flight write (the oracle's
+    // expected-data model requires it); re-pick a few times, then
+    // degrade to a read — under heavy collision that is the realistic
+    // behaviour anyway (the application would serialize).
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        std::uint64_t b = pick();
+        if (!_dev.writeInflight(b, nblocks)) {
+            _dev.write(b, nblocks, on_done);
+            return;
+        }
+    }
+    _dev.read(pick(), nblocks, on_done);
+}
+
+void
+TenantWorkload::completed(sim::Tick submitted, bool ok)
+{
+    BMS_ASSERT(_outstanding > 0, "completion without outstanding I/O");
+    --_outstanding;
+    ++_ops;
+    if (!ok)
+        ++_errors;
+    sim::Tick gap = now() - submitted;
+    if (gap > _maxGap)
+        _maxGap = gap;
+    if (_stopping) {
+        if (_outstanding == 0 && _drained) {
+            auto cb = std::move(_drained);
+            _drained = nullptr;
+            cb();
+        }
+        return;
+    }
+    pump();
+}
+
+} // namespace bms::fuzz

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Randomized tenant workloads for the simulation fuzzer.
+ *
+ * Each TenantWorkload is a closed-loop issuer (fio-style) over one
+ * OracleDevice: it keeps `iodepth` verified I/Os in flight, picking
+ * op kind, size, and placement from its own forked Rng stream so the
+ * whole schedule replays exactly from the fuzzer seed.
+ */
+
+#ifndef BMS_FUZZ_SCHEDULE_HH
+#define BMS_FUZZ_SCHEDULE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "fuzz/op_log.hh"
+#include "fuzz/oracle.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+namespace bms::fuzz {
+
+/** Shape of one tenant's I/O stream (drawn from the seed). */
+struct TenantSpec
+{
+    int iodepth = 4;         ///< in-flight target, 1..16
+    double readRatio = 0.5;  ///< read probability per op
+    double flushProb = 0.01; ///< flush probability per op
+    std::uint32_t minIoBlocks = 1; ///< 4 KiB units
+    std::uint32_t maxIoBlocks = 8;
+    bool sequential = false; ///< sequential cursor vs uniform random
+};
+
+/** Closed-loop random tenant driving one oracle device. */
+class TenantWorkload : public sim::SimObject
+{
+  public:
+    TenantWorkload(sim::Simulator &sim, std::string name,
+                   OracleDevice &dev, sim::Rng rng, TenantSpec spec);
+
+    void start();
+
+    /** Stop issuing; @p drained fires once in-flight I/O completes. */
+    void stop(std::function<void()> drained);
+
+    std::uint64_t ops() const { return _ops; }
+    std::uint64_t errors() const { return _errors; }
+    std::uint32_t outstanding() const { return _outstanding; }
+    /** Longest submit→complete span seen (hot-upgrade hiccup bound). */
+    sim::Tick maxCompletionGap() const { return _maxGap; }
+
+  private:
+    void pump();
+    void issueOne();
+    void completed(sim::Tick submitted, bool ok);
+
+    OracleDevice &_dev;
+    sim::Rng _rng;
+    TenantSpec _spec;
+
+    bool _running = false;
+    bool _stopping = false;
+    std::uint32_t _outstanding = 0;
+    std::uint64_t _seqCursor = 0;
+    std::uint64_t _ops = 0;
+    std::uint64_t _errors = 0;
+    sim::Tick _maxGap = 0;
+    std::function<void()> _drained;
+};
+
+} // namespace bms::fuzz
+
+#endif // BMS_FUZZ_SCHEDULE_HH

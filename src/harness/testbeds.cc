@@ -32,7 +32,7 @@ NativeTestbed::NativeTestbed(const TestbedConfig &cfg) : TestbedBase(cfg)
     int ready = 0;
     for (int i = 0; i < cfg.ssdCount; ++i) {
         auto *ssd = _sim->make<ssd::SsdDevice>(
-            *_sim, "ssd" + std::to_string(i), cfg.ssd);
+            *_sim, "ssd" + std::to_string(i), cfg.ssdConfig(i));
         pcie::RootPort &port = _host->addSlot(4);
         port.attach(*ssd);
         _ssds.push_back(ssd);
@@ -112,7 +112,7 @@ BmStoreTestbed::BmStoreTestbed(const TestbedConfig &cfg) : TestbedBase(cfg)
     int ready = 0;
     for (int i = 0; i < cfg.ssdCount; ++i) {
         auto *ssd = _sim->make<ssd::SsdDevice>(
-            *_sim, "bssd" + std::to_string(i), cfg.ssd);
+            *_sim, "bssd" + std::to_string(i), cfg.ssdConfig(i));
         _ssds.push_back(ssd);
         _controller->attachBackendSsd(i, *ssd, [&ready] { ++ready; });
     }
@@ -185,7 +185,7 @@ VhostTestbed::VhostTestbed(const TestbedConfig &cfg,
     int ready = 0;
     for (int i = 0; i < cfg.ssdCount; ++i) {
         auto *ssd = _sim->make<ssd::SsdDevice>(
-            *_sim, "ssd" + std::to_string(i), cfg.ssd);
+            *_sim, "ssd" + std::to_string(i), cfg.ssdConfig(i));
         pcie::RootPort &port = _host->addSlot(4);
         port.attach(*ssd);
         host::NvmeDriver::Config dc;

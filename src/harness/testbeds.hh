@@ -35,6 +35,13 @@ struct TestbedConfig
     std::uint64_t seed = 1;
     host::HostConfig host;
     ssd::SsdDevice::Config ssd;
+    /**
+     * Per-slot SSD config overrides (index = back-end slot; slots
+     * beyond the vector fall back to `ssd`). Fault-injection
+     * testbeds use this to give each slot its own error/latency
+     * knobs — e.g. one degraded disk among healthy ones.
+     */
+    std::vector<ssd::SsdDevice::Config> ssdOverrides;
     core::EngineConfig engine;
     /** Driver shape used by attach helpers. */
     std::uint16_t ioQueues = 4;
@@ -46,6 +53,14 @@ struct TestbedConfig
      * systems.
      */
     bool attachHostDrivers = true;
+
+    /** Effective SSD config for back-end slot @p slot. */
+    const ssd::SsdDevice::Config &
+    ssdConfig(int slot) const
+    {
+        auto i = static_cast<std::size_t>(slot);
+        return i < ssdOverrides.size() ? ssdOverrides[i] : ssd;
+    }
 };
 
 /** Base: owns the simulated world and the host. */

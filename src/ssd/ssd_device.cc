@@ -116,6 +116,21 @@ SsdDevice::checkRange(const Sqe &sqe, std::uint16_t sqid)
 void
 SsdDevice::executeIo(const Sqe &sqe, std::uint16_t sqid)
 {
+    // Injected latency spike: the command sits inside the drive (GC
+    // stall, internal retry) before normal processing begins.
+    if (_cfg.faults.latencySpikeRate > 0.0 &&
+        sim().rng().chance(_cfg.faults.latencySpikeRate)) {
+        ++_latencySpikes;
+        schedule(_cfg.faults.latencySpikeDelay,
+                 [this, sqe, sqid] { dispatchIo(sqe, sqid); });
+        return;
+    }
+    dispatchIo(sqe, sqid);
+}
+
+void
+SsdDevice::dispatchIo(const Sqe &sqe, std::uint16_t sqid)
+{
     switch (static_cast<IoOpcode>(sqe.opcode)) {
       case IoOpcode::Read:
         doRead(sqe, sqid);
@@ -180,8 +195,8 @@ SsdDevice::doRead(const Sqe &sqe, std::uint16_t sqid)
 {
     if (!checkRange(sqe, sqid))
         return;
-    if (_cfg.readErrorRate > 0.0 &&
-        sim().rng().chance(_cfg.readErrorRate)) {
+    if (_cfg.faults.readErrorRate > 0.0 &&
+        sim().rng().chance(_cfg.faults.readErrorRate)) {
         // Unrecoverable media error: reported after a full media
         // access attempt, as real drives do.
         std::uint64_t bytes = sqe.dataBytes();
@@ -218,6 +233,18 @@ SsdDevice::doWrite(const Sqe &sqe, std::uint16_t sqid)
 {
     if (!checkRange(sqe, sqid))
         return;
+    if (_cfg.faults.writeErrorRate > 0.0 &&
+        sim().rng().chance(_cfg.faults.writeErrorRate)) {
+        // Clean write failure: a full media access is attempted but
+        // the stored bytes are left untouched (see FaultConfig).
+        _media->write(sqe.slba() * nvme::kBlockSize, sqe.dataBytes(),
+                      [this, sqe, sqid] {
+                          ++_mediaErrors;
+                          _ctrl->complete(sqid, sqe.cid,
+                                          Status::DataTransferError);
+                      });
+        return;
+    }
     std::uint64_t len = sqe.dataBytes();
     std::uint64_t media_off = sqe.slba() * nvme::kBlockSize;
     resolveSegments(sqe, [this, sqe, sqid, len, media_off](

@@ -36,6 +36,29 @@
 namespace bms::ssd {
 
 /**
+ * Fault-injection knobs (failure testing; all zero in normal
+ * operation). Runtime-mutable through SsdDevice::faults() so torture
+ * harnesses can open and close fault windows mid-run.
+ */
+struct FaultConfig
+{
+    /** Probability a read hits an unrecoverable media error. */
+    double readErrorRate = 0.0;
+    /**
+     * Probability a write fails with a media error. An injected
+     * write failure never reaches the functional data store: the
+     * previously stored bytes survive (clean-failure model, which is
+     * what lets the data-integrity oracle keep an exact shadow map).
+     */
+    double writeErrorRate = 0.0;
+    /** Probability an I/O command suffers an internal latency spike
+     *  (GC stall / retry storm) before being processed. */
+    double latencySpikeRate = 0.0;
+    /** Duration of one injected latency spike. */
+    sim::Tick latencySpikeDelay = sim::milliseconds(2);
+};
+
+/**
  * A complete back-end storage endpoint. By default an NVMe SSD; with
  * `hddProfile` set it models a SATA HDD served through the adaptor's
  * SATA personality (§VI-A) — same command interface, spinning-disk
@@ -52,9 +75,8 @@ class SsdDevice : public sim::SimObject, public pcie::PcieDeviceIf
         std::optional<HddProfile> hddProfile;
         /** Store real data bytes (integrity tests); off for benches. */
         bool functionalData = false;
-        /** Probability a read hits an unrecoverable media error
-         *  (failure-injection testing; 0 in normal operation). */
-        double readErrorRate = 0.0;
+        /** Initial fault-injection knobs. */
+        FaultConfig faults;
     };
 
     SsdDevice(sim::Simulator &sim, std::string name, Config cfg);
@@ -86,8 +108,15 @@ class SsdDevice : public sim::SimObject, public pcie::PcieDeviceIf
     /** Duration of the most recent firmware activation stall. */
     sim::Tick lastActivationTime() const { return _lastActivation; }
 
-    /** Injected unrecoverable read errors reported so far. */
+    /** Injected unrecoverable read/write errors reported so far. */
     std::uint64_t mediaErrors() const { return _mediaErrors; }
+
+    /** Injected latency spikes taken so far. */
+    std::uint64_t latencySpikes() const { return _latencySpikes; }
+
+    /** Live fault-injection knobs (mutable mid-run). */
+    FaultConfig &faults() { return _cfg.faults; }
+    const FaultConfig &faults() const { return _cfg.faults; }
 
     /** @name SMART attributes (NVMe-MI health telemetry). */
     /// @{
@@ -146,6 +175,7 @@ class SsdDevice : public sim::SimObject, public pcie::PcieDeviceIf
     friend class Controller;
 
     void executeIo(const nvme::Sqe &sqe, std::uint16_t sqid);
+    void dispatchIo(const nvme::Sqe &sqe, std::uint16_t sqid);
     void executeAdmin(const nvme::Sqe &sqe);
     void doRead(const nvme::Sqe &sqe, std::uint16_t sqid);
     void doWrite(const nvme::Sqe &sqe, std::uint16_t sqid);
@@ -179,6 +209,7 @@ class SsdDevice : public sim::SimObject, public pcie::PcieDeviceIf
     bool _upgrading = false;
     sim::Tick _lastActivation = 0;
     std::uint64_t _mediaErrors = 0;
+    std::uint64_t _latencySpikes = 0;
 };
 
 } // namespace bms::ssd

@@ -81,6 +81,20 @@ void
 FioRunner::start(std::function<void()> done)
 {
     BMS_ASSERT(!_running, "fio runner started twice");
+    // Validate the spec before any I/O is generated: a malformed spec
+    // must fail loudly here, not silently misbehave (e.g. a readRatio
+    // of 1.3 would quietly become an all-read workload, an unaligned
+    // blockSize would panic deep inside the NVMe driver instead).
+    BMS_ASSERT(_spec.iodepth >= 1, "fio spec: iodepth must be >= 1, got ",
+               _spec.iodepth);
+    BMS_ASSERT(_spec.numjobs >= 1, "fio spec: numjobs must be >= 1, got ",
+               _spec.numjobs);
+    BMS_ASSERT(_spec.blockSize > 0 && _spec.blockSize % 512 == 0,
+               "fio spec: blockSize must be a nonzero multiple of 512, "
+               "got ", _spec.blockSize);
+    BMS_ASSERT(_spec.readRatio >= 0.0 && _spec.readRatio <= 1.0,
+               "fio spec: readRatio must be in [0, 1], got ",
+               _spec.readRatio);
     _done = std::move(done);
     _running = true;
 

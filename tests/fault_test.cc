@@ -19,7 +19,7 @@ TEST(FaultInjection, NativeReadErrorReachesCaller)
 {
     harness::TestbedConfig cfg;
     cfg.ssdCount = 1;
-    cfg.ssd.readErrorRate = 1.0; // every read fails
+    cfg.ssd.faults.readErrorRate = 1.0; // every read fails
     harness::NativeTestbed bed(cfg);
     bool done = false;
     host::BlockRequest rd;
@@ -39,7 +39,7 @@ TEST(FaultInjection, WritesUnaffectedByReadErrors)
 {
     harness::TestbedConfig cfg;
     cfg.ssdCount = 1;
-    cfg.ssd.readErrorRate = 1.0;
+    cfg.ssd.faults.readErrorRate = 1.0;
     harness::NativeTestbed bed(cfg);
     bool done = false;
     host::BlockRequest wr;
@@ -58,7 +58,7 @@ TEST(FaultInjection, ErrorsPropagateThroughBmStore)
 {
     harness::TestbedConfig cfg;
     cfg.ssdCount = 1;
-    cfg.ssd.readErrorRate = 0.5;
+    cfg.ssd.faults.readErrorRate = 0.5;
     harness::BmStoreTestbed bed(cfg);
     host::NvmeDriver &disk = bed.attachTenant(0, sim::gib(128));
 
@@ -79,7 +79,7 @@ TEST(FaultInjection, DegradedDiskStillHotPluggable)
 {
     harness::TestbedConfig cfg;
     cfg.ssdCount = 1;
-    cfg.ssd.readErrorRate = 1.0; // the "faulty disk" of §IV-D
+    cfg.ssd.faults.readErrorRate = 1.0; // the "faulty disk" of §IV-D
     harness::BmStoreTestbed bed(cfg);
     host::NvmeDriver &disk = bed.attachTenant(0, sim::gib(128));
 
@@ -108,4 +108,107 @@ TEST(FaultInjection, DegradedDiskStillHotPluggable)
     };
     disk.submit(std::move(rd));
     EXPECT_TRUE(test::runUntil(bed.sim(), [&] { return done; }));
+}
+
+TEST(FaultInjection, InjectedWriteErrorLeavesStoredDataIntact)
+{
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 1;
+    cfg.ssd.functionalData = true;
+    harness::NativeTestbed bed(cfg);
+    host::HostMemory &mem = bed.host().memory();
+
+    std::uint64_t buf = mem.alloc(4096);
+    std::vector<std::uint8_t> pattern(4096, 0xA5);
+    mem.write(buf, 4096, pattern.data());
+
+    auto submit = [&](host::BlockRequest::Op op, bool &flag, bool want) {
+        host::BlockRequest req;
+        req.op = op;
+        req.offset = 0;
+        req.len = 4096;
+        req.dataAddr = buf;
+        req.done = [&flag, want](bool ok) {
+            EXPECT_EQ(ok, want);
+            flag = true;
+        };
+        bed.driver(0).submit(std::move(req));
+    };
+
+    bool wrote = false;
+    submit(host::BlockRequest::Op::Write, wrote, true);
+    ASSERT_TRUE(test::runUntil(bed.sim(), [&] { return wrote; }));
+
+    // Second write fails cleanly: the media keeps the first bytes.
+    bed.ssd(0).faults().writeErrorRate = 1.0;
+    std::vector<std::uint8_t> other(4096, 0x5A);
+    mem.write(buf, 4096, other.data());
+    bool failed = false;
+    submit(host::BlockRequest::Op::Write, failed, false);
+    ASSERT_TRUE(test::runUntil(bed.sim(), [&] { return failed; }));
+    EXPECT_EQ(bed.ssd(0).mediaErrors(), 1u);
+
+    bed.ssd(0).faults().writeErrorRate = 0.0;
+    bool read = false;
+    submit(host::BlockRequest::Op::Read, read, true);
+    ASSERT_TRUE(test::runUntil(bed.sim(), [&] { return read; }));
+    std::vector<std::uint8_t> got(4096);
+    mem.read(buf, 4096, got.data());
+    EXPECT_EQ(got, pattern);
+}
+
+TEST(FaultInjection, LatencySpikeDelaysButCompletes)
+{
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 1;
+    cfg.ssd.faults.latencySpikeRate = 1.0;
+    cfg.ssd.faults.latencySpikeDelay = sim::milliseconds(2);
+    harness::NativeTestbed bed(cfg);
+
+    sim::Tick submitted = bed.sim().now();
+    sim::Tick completed = 0;
+    host::BlockRequest rd;
+    rd.op = host::BlockRequest::Op::Read;
+    rd.offset = 0;
+    rd.len = 4096;
+    rd.done = [&](bool ok) {
+        EXPECT_TRUE(ok);
+        completed = bed.sim().now();
+    };
+    bed.driver(0).submit(std::move(rd));
+    EXPECT_TRUE(test::runUntil(bed.sim(), [&] { return completed != 0; }));
+    EXPECT_GE(completed - submitted, sim::milliseconds(2));
+    EXPECT_EQ(bed.ssd(0).latencySpikes(), 1u);
+    EXPECT_EQ(bed.ssd(0).mediaErrors(), 0u);
+}
+
+TEST(FaultInjection, PerSlotOverridesScopeFaultsToOneDisk)
+{
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 2;
+    // Slot 1 is the degraded disk; slot 0 (from the shared `ssd`
+    // template) stays healthy.
+    cfg.ssdOverrides.resize(2);
+    cfg.ssdOverrides[1].faults.readErrorRate = 1.0;
+    harness::NativeTestbed bed(cfg);
+
+    auto readFrom = [&](int disk, bool &flag, bool want) {
+        host::BlockRequest rd;
+        rd.op = host::BlockRequest::Op::Read;
+        rd.offset = 0;
+        rd.len = 4096;
+        rd.done = [&flag, want](bool ok) {
+            EXPECT_EQ(ok, want);
+            flag = true;
+        };
+        bed.driver(disk).submit(std::move(rd));
+    };
+
+    bool healthy = false, degraded = false;
+    readFrom(0, healthy, true);
+    readFrom(1, degraded, false);
+    EXPECT_TRUE(test::runUntil(bed.sim(),
+                               [&] { return healthy && degraded; }));
+    EXPECT_EQ(bed.ssd(0).mediaErrors(), 0u);
+    EXPECT_EQ(bed.ssd(1).mediaErrors(), 1u);
 }

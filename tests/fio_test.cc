@@ -184,3 +184,54 @@ TEST(Fio, ZeroErrorsOnHealthyDevice)
     EXPECT_EQ(r->result().errors, 0u);
     EXPECT_TRUE(r->finished());
 }
+
+TEST(Fio, InvalidSpecsPanicAtSubmit)
+{
+    // A malformed spec must fail loudly when submitted, not silently
+    // misbehave (see FioRunner::start validation).
+    auto submit = [](workload::FioJobSpec spec) {
+        Fixture f;
+        auto *r = f.sim.make<workload::FioRunner>(f.sim, "fio", f.dev,
+                                                  spec);
+        r->start();
+    };
+    workload::FioJobSpec ratio;
+    ratio.pattern = workload::FioPattern::RandRw;
+    ratio.readRatio = 1.3;
+    EXPECT_PANIC(submit(ratio));
+
+    workload::FioJobSpec neg_ratio = ratio;
+    neg_ratio.readRatio = -0.1;
+    EXPECT_PANIC(submit(neg_ratio));
+
+    workload::FioJobSpec bs;
+    bs.blockSize = 0;
+    EXPECT_PANIC(submit(bs));
+
+    workload::FioJobSpec unaligned;
+    unaligned.blockSize = 4000; // not a multiple of 512
+    EXPECT_PANIC(submit(unaligned));
+
+    workload::FioJobSpec depth;
+    depth.iodepth = 0;
+    EXPECT_PANIC(submit(depth));
+}
+
+TEST(Fio, ValidBoundarySpecsAccepted)
+{
+    // The boundary values themselves are legal.
+    Fixture f;
+    workload::FioJobSpec spec;
+    spec.pattern = workload::FioPattern::RandRw;
+    spec.readRatio = 1.0;
+    spec.blockSize = 512;
+    spec.iodepth = 1;
+    spec.numjobs = 1;
+    spec.rampTime = 0;
+    spec.runTime = sim::milliseconds(1);
+    auto *r = f.sim.make<workload::FioRunner>(f.sim, "fio", f.dev, spec);
+    bool finished = false;
+    r->start([&] { finished = true; });
+    f.sim.runAll();
+    EXPECT_TRUE(finished);
+}
