@@ -49,6 +49,11 @@ run_san() {
     # tests don't, which is exactly where ASan/UBSan earn their keep.
     echo "== ASan+UBSan fuzz (fixed seeds) =="
     ./build-asan/fuzz --seeds=1:8 --horizon-ms=30 || fail=1
+    # The pinned migration seeds: forced chunk moves + evacuations
+    # with fault windows overlapping the copy on both legs.
+    echo "== ASan+UBSan fuzz (migration seeds) =="
+    ./build-asan/fuzz --seeds=201:204 --horizon-ms=30 --min-ssds=2 \
+        --force-migration || fail=1
 }
 
 case "${mode}" in

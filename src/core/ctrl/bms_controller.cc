@@ -1,12 +1,14 @@
 #include "core/ctrl/bms_controller.hh"
 
+#include <algorithm>
 #include <utility>
 
 namespace bms::core {
 
 BmsController::BmsController(sim::Simulator &sim, std::string name,
                              BmsEngine &engine, Config cfg)
-    : SimObject(sim, name), _engine(engine), _cfg(cfg), _nsMgr(engine)
+    : SimObject(sim, name), _engine(engine), _cfg(cfg),
+      _nsMgr(engine, cfg.mapGeometry)
 {
     _endpoint = std::make_unique<MctpEndpoint>(sim, name + ".mctp",
                                                cfg.eid);
@@ -20,6 +22,12 @@ BmsController::BmsController(sim::Simulator &sim, std::string name,
         sim, name + ".hotupgrade", engine, cfg.upgrade);
     _hotPlug = std::make_unique<HotPlugManager>(sim, name + ".hotplug",
                                                 engine, cfg.hotplug);
+    _migration = std::make_unique<MigrationManager>(
+        sim, name + ".migration", engine, _nsMgr, cfg.migration);
+    _migration->setMonitor(_monitor.get());
+    _migration->setSlotBusyProbe(
+        [this](int slot) { return _hotUpgrade->upgradeInProgress(slot); });
+    _hotPlug->setLossless(_migration.get(), &_nsMgr);
 }
 
 void
@@ -154,6 +162,18 @@ BmsController::dispatch(Eid src, const MiMessage &req)
         w.f64(s.writeIops);
         w.f64(s.readMbps);
         w.f64(s.writeMbps);
+        auto occ = _nsMgr.occupancy();
+        std::uint64_t chunk_bytes =
+            _nsMgr.chunkBlocks() * nvme::kBlockSize;
+        w.u8(static_cast<std::uint8_t>(occ.size()));
+        for (const auto &o : occ) {
+            w.u8(static_cast<std::uint8_t>(o.slot));
+            w.u64(o.total);
+            w.u64(o.used);
+            w.u64(o.free);
+            w.u8(o.quiesced ? 1 : 0);
+            w.u64(chunk_bytes);
+        }
         respond(src, req, MiStatus::Success, w.take());
         return;
       }
@@ -184,6 +204,7 @@ BmsController::dispatch(Eid src, const MiMessage &req)
       }
       case MiOpcode::VendorHotPlug: {
         std::uint8_t slot = r.u8();
+        bool lossless = r.u8() != 0;
         if (!r.ok() || slot >= _engine.ssdSlots() || !_spareProvider) {
             respond(src, req, MiStatus::InvalidParameter, {});
             return;
@@ -193,18 +214,113 @@ BmsController::dispatch(Eid src, const MiMessage &req)
             respond(src, req, MiStatus::InternalError, {});
             return;
         }
-        // Note: the namespace manager's chunk accounting is kept —
-        // existing mappings now point at the fresh disk's chunks.
-        _hotPlug->replace(slot, *spare,
-                          [this, src, req](HotPlugManager::Report rep) {
-                              wire::Writer w;
-                              w.u8(rep.ok ? 1 : 0);
-                              w.f64(sim::toMs(rep.ioPause));
-                              respond(src, req,
-                                      rep.ok ? MiStatus::Success
-                                             : MiStatus::InternalError,
-                                      w.take());
-                          });
+        auto reply = [this, src, req](HotPlugManager::Report rep) {
+            wire::Writer w;
+            w.u8(rep.ok ? 1 : 0);
+            w.f64(sim::toMs(rep.ioPause));
+            w.u32(rep.evacuatedChunks);
+            w.f64(sim::toMs(rep.evacTime));
+            respond(src, req,
+                    rep.ok ? MiStatus::Success : MiStatus::InternalError,
+                    w.take());
+        };
+        // Destructive path: chunk accounting is kept and existing
+        // mappings point at the fresh disk's chunks (restoration is a
+        // higher layer's job). Lossless path: the slot is drained by
+        // the migration subsystem first, so no data is abandoned.
+        if (lossless)
+            _hotPlug->replaceLossless(slot, *spare, std::move(reply));
+        else
+            _hotPlug->replace(slot, *spare, std::move(reply));
+        return;
+      }
+      case MiOpcode::VendorMigrateChunk: {
+        auto fn = static_cast<pcie::FunctionId>(r.u8());
+        std::uint32_t nsid = r.u32();
+        std::uint32_t chunk_index = r.u32();
+        std::uint8_t dst = r.u8();
+        if (!r.ok()) {
+            respond(src, req, MiStatus::InvalidParameter, {});
+            return;
+        }
+        int dst_slot = dst == 0xFF ? MigrationManager::kAutoSlot : dst;
+        bool accepted = _migration->migrate(
+            fn, nsid, chunk_index, dst_slot,
+            [this, src, req](MigrationManager::Report rep) {
+                wire::Writer w;
+                w.u8(rep.ok ? 1 : 0);
+                w.u8(rep.dstSlot);
+                w.f64(sim::toMs(rep.elapsed));
+                w.u64(rep.bytesCopied);
+                respond(src, req,
+                        rep.ok ? MiStatus::Success
+                               : MiStatus::InternalError,
+                        w.take());
+            });
+        if (!accepted)
+            respond(src, req, MiStatus::InvalidParameter, {});
+        return;
+      }
+      case MiOpcode::VendorEvacuate: {
+        std::uint8_t slot = r.u8();
+        if (!r.ok() || slot >= _engine.ssdSlots()) {
+            respond(src, req, MiStatus::InvalidParameter, {});
+            return;
+        }
+        _migration->evacuate(
+            slot, [this, src, req](MigrationManager::EvacReport rep) {
+                wire::Writer w;
+                w.u8(rep.ok ? 1 : 0);
+                w.u32(rep.moved);
+                w.u32(rep.failed);
+                w.f64(sim::toMs(rep.elapsed));
+                respond(src, req,
+                        rep.ok ? MiStatus::Success
+                               : MiStatus::InternalError,
+                        w.take());
+            });
+        return;
+      }
+      case MiOpcode::VendorMigrationStatus: {
+        auto entries = _migration->status();
+        wire::Writer w;
+        w.u8(static_cast<std::uint8_t>(
+            std::min<std::size_t>(entries.size(), 255)));
+        std::size_t n = 0;
+        for (const MigrationStatus &m : entries) {
+            if (n++ == 255)
+                break;
+            w.u32(m.id);
+            w.u8(m.fn);
+            w.u32(m.nsid);
+            w.u32(m.chunkIndex);
+            w.u8(m.srcSlot);
+            w.u8(m.srcChunk);
+            w.u8(m.dstSlot);
+            w.u8(m.dstChunk);
+            w.u8(static_cast<std::uint8_t>(m.state));
+            w.u32(m.copiedSegments);
+            w.u32(m.totalSegments);
+            w.u64(m.bytesCopied);
+        }
+        respond(src, req, MiStatus::Success, w.take());
+        return;
+      }
+      case MiOpcode::VendorDf: {
+        auto occ = _nsMgr.occupancy();
+        std::uint64_t chunk_bytes =
+            _nsMgr.chunkBlocks() * nvme::kBlockSize;
+        wire::Writer w;
+        w.u8(static_cast<std::uint8_t>(occ.size()));
+        for (const auto &o : occ) {
+            w.u8(static_cast<std::uint8_t>(o.slot));
+            w.u64(o.total);
+            w.u64(o.used);
+            w.u64(o.free);
+            w.u8(o.quiesced ? 1 : 0);
+            w.u64(chunk_bytes);
+        }
+        respond(src, req, MiStatus::Success, w.take());
         return;
       }
       case MiOpcode::VendorListNamespaces:

@@ -20,6 +20,7 @@
 #include "core/ctrl/hot_plug.hh"
 #include "core/ctrl/hot_upgrade.hh"
 #include "core/ctrl/io_monitor.hh"
+#include "core/ctrl/migration/migration_manager.hh"
 #include "core/ctrl/namespace_manager.hh"
 #include "core/engine/bms_engine.hh"
 #include "core/mgmt/mctp.hh"
@@ -35,8 +36,11 @@ struct BmsControllerConfig
     /** ARM-side processing per management command. */
     sim::Tick armProcessing = sim::microseconds(50);
     sim::Tick monitorPeriod = sim::milliseconds(100);
+    /** Chunk/table geometry for every namespace (tests shrink it). */
+    LbaMapGeometry mapGeometry;
     HotUpgradeManager::Config upgrade;
     HotPlugManager::Config hotplug;
+    MigrationManager::Config migration;
 };
 
 /** The ARM control plane of one BM-Store card. */
@@ -54,6 +58,7 @@ class BmsController : public sim::SimObject
     IoMonitor &monitor() { return *_monitor; }
     HotUpgradeManager &hotUpgrade() { return *_hotUpgrade; }
     HotPlugManager &hotPlug() { return *_hotPlug; }
+    MigrationManager &migration() { return *_migration; }
 
     /**
      * Register the spare-disk supply used when a remote hot-plug
@@ -89,6 +94,7 @@ class BmsController : public sim::SimObject
     std::unique_ptr<IoMonitor> _monitor;
     std::unique_ptr<HotUpgradeManager> _hotUpgrade;
     std::unique_ptr<HotPlugManager> _hotPlug;
+    std::unique_ptr<MigrationManager> _migration;
     std::function<pcie::PcieDeviceIf *(int)> _spareProvider;
 };
 

@@ -18,6 +18,7 @@
 
 #include <functional>
 
+#include "core/ctrl/migration/migration_manager.hh"
 #include "core/engine/bms_engine.hh"
 #include "sim/simulator.hh"
 
@@ -39,6 +40,11 @@ class HotPlugManager : public sim::SimObject
         bool ok = false;
         sim::Tick ioPause = 0; ///< pause start → resume
         sim::Tick swapTime = 0;
+        /** @name Lossless replacement only. */
+        /// @{
+        std::uint32_t evacuatedChunks = 0;
+        sim::Tick evacTime = 0;
+        /// @}
     };
 
     using Config = HotPlugConfig;
@@ -79,12 +85,70 @@ class HotPlugManager : public sim::SimObject
         });
     }
 
+    /** Wire the migration subsystem enabling replaceLossless(). */
+    void
+    setLossless(MigrationManager *migration, NamespaceManager *ns)
+    {
+        _migration = migration;
+        _ns = ns;
+    }
+
+    /**
+     * Lossless replacement: evacuate every chunk off @p slot through
+     * the migration subsystem (tenant I/O keeps flowing and no data
+     * is abandoned on the old disk), then run the ordinary swap on
+     * the now-empty slot. The slot stays quiesced across the swap so
+     * no chunk lands on it until the fresh disk serves I/O. Falls
+     * back to the destructive replace() when no migration subsystem
+     * is wired or the evacuation fails (report.ok = false without
+     * touching the disk).
+     */
+    void
+    replaceLossless(int slot, pcie::PcieDeviceIf &replacement,
+                    std::function<void(Report)> done)
+    {
+        if (!_migration) {
+            replace(slot, replacement, std::move(done));
+            return;
+        }
+        _migration->evacuate(
+            slot,
+            [this, slot, &replacement,
+             done = std::move(done)](MigrationManager::EvacReport ev) {
+                if (!ev.ok) {
+                    // Old disk untouched; operator can retry or force
+                    // the destructive path explicitly.
+                    _migration->releaseQuiesce(slot);
+                    Report rep;
+                    rep.evacuatedChunks = ev.moved;
+                    rep.evacTime = ev.elapsed;
+                    done(rep);
+                    return;
+                }
+                replace(slot, replacement,
+                        [this, slot, ev,
+                         done = std::move(done)](Report rep) {
+                            rep.evacuatedChunks = ev.moved;
+                            rep.evacTime = ev.elapsed;
+                            if (rep.ok)
+                                ++_lossless;
+                            _migration->releaseQuiesce(slot);
+                            done(rep);
+                        });
+            },
+            /*keep_quiesced=*/true);
+    }
+
     std::uint32_t replacementsCompleted() const { return _completed; }
+    std::uint32_t losslessCompleted() const { return _lossless; }
 
   private:
     BmsEngine &_engine;
     Config _cfg;
+    MigrationManager *_migration = nullptr;
+    NamespaceManager *_ns = nullptr;
     std::uint32_t _completed = 0;
+    std::uint32_t _lossless = 0;
 };
 
 } // namespace bms::core

@@ -34,6 +34,15 @@ class IoMonitor : public sim::SimObject
         double writeMbps = 0.0;
     };
 
+    /** One back-end slot's adaptor counters + derived rates. */
+    struct SlotSample
+    {
+        std::uint64_t completedIos = 0;
+        std::uint64_t routedBytes = 0;
+        double iops = 0.0;
+        double mbps = 0.0;
+    };
+
     IoMonitor(sim::Simulator &sim, std::string name, BmsEngine &engine,
               sim::Tick period = sim::milliseconds(100))
         : SimObject(sim, std::move(name)), _engine(engine), _period(period)
@@ -41,6 +50,8 @@ class IoMonitor : public sim::SimObject
         _last.resize(
             static_cast<std::size_t>(engine.config().totalFunctions()));
         _current.resize(_last.size());
+        _slotLast.resize(static_cast<std::size_t>(engine.ssdSlots()));
+        _slotCurrent.resize(_slotLast.size());
     }
 
     /** Start periodic sampling. */
@@ -60,6 +71,20 @@ class IoMonitor : public sim::SimObject
     {
         return _current.at(fn);
     }
+
+    /** Latest per-slot sample (zeros for an out-of-range slot). */
+    SlotSample
+    slotSample(int slot) const
+    {
+        if (slot < 0 ||
+            static_cast<std::size_t>(slot) >= _slotCurrent.size()) {
+            return SlotSample{};
+        }
+        return _slotCurrent[static_cast<std::size_t>(slot)];
+    }
+
+    /** Back-end load on @p slot over the last period (MB/s). */
+    double slotMbps(int slot) const { return slotSample(slot).mbps; }
 
     std::uint64_t samplesTaken() const { return _samples; }
 
@@ -104,9 +129,31 @@ class IoMonitor : public sim::SimObject
             }
             _last[i] = raw;
         }
+        for (std::size_t s = 0; s < _slotLast.size(); ++s) {
+            HostAdaptor &ad = _engine.adaptor(static_cast<int>(s));
+            SlotRaw raw{ad.completedIos(), ad.routedToHostBytes()};
+            SlotSample &cur = _slotCurrent[s];
+            cur.completedIos = raw.ios;
+            cur.routedBytes = raw.bytes;
+            if (_samples > 0 && period_sec > 0.0) {
+                cur.iops = static_cast<double>(raw.ios -
+                                               _slotLast[s].ios) /
+                           period_sec;
+                cur.mbps = static_cast<double>(raw.bytes -
+                                               _slotLast[s].bytes) /
+                           1e6 / period_sec;
+            }
+            _slotLast[s] = raw;
+        }
         ++_samples;
         schedule(_period, [this] { sample(); });
     }
+
+    struct SlotRaw
+    {
+        std::uint64_t ios = 0;
+        std::uint64_t bytes = 0;
+    };
 
     BmsEngine &_engine;
     sim::Tick _period;
@@ -114,6 +161,8 @@ class IoMonitor : public sim::SimObject
     std::uint64_t _samples = 0;
     std::vector<Raw> _last;
     std::vector<FnSample> _current;
+    std::vector<SlotRaw> _slotLast;
+    std::vector<SlotSample> _slotCurrent;
 };
 
 } // namespace bms::core

@@ -4,6 +4,24 @@
 
 namespace bms::core {
 
+NamespaceManager::Pool *
+NamespaceManager::poolFor(int slot)
+{
+    for (auto &pool : _pools)
+        if (pool.slot == slot)
+            return &pool;
+    return nullptr;
+}
+
+const NamespaceManager::Pool *
+NamespaceManager::poolFor(int slot) const
+{
+    for (const auto &pool : _pools)
+        if (pool.slot == slot)
+            return &pool;
+    return nullptr;
+}
+
 void
 NamespaceManager::registerSsd(int slot, std::uint64_t capacity_bytes)
 {
@@ -16,10 +34,12 @@ NamespaceManager::registerSsd(int slot, std::uint64_t capacity_bytes)
     pool.used.assign(chunks, false);
     auto it = std::find_if(_pools.begin(), _pools.end(),
                            [slot](const Pool &p) { return p.slot == slot; });
-    if (it != _pools.end())
+    if (it != _pools.end()) {
+        pool.quiesce = it->quiesce;
         *it = std::move(pool);
-    else
+    } else {
         _pools.push_back(std::move(pool));
+    }
 }
 
 std::optional<std::vector<NamespaceManager::Allocation>>
@@ -30,7 +50,9 @@ NamespaceManager::allocate(std::uint32_t chunks, Policy policy,
     out.reserve(chunks);
     if (_pools.empty())
         return std::nullopt;
-    auto take_from = [this, &out](Pool &pool) {
+    auto take_from = [&out](Pool &pool) {
+        if (pool.quiesce > 0)
+            return false;
         for (std::size_t c = 0; c < pool.used.size(); ++c) {
             if (!pool.used[c]) {
                 pool.used[c] = true;
@@ -75,12 +97,8 @@ void
 NamespaceManager::release(const std::vector<Allocation> &allocs)
 {
     for (const Allocation &a : allocs) {
-        for (auto &pool : _pools) {
-            if (pool.slot == a.slot) {
-                pool.used[a.chunk] = false;
-                break;
-            }
-        }
+        if (Pool *pool = poolFor(a.slot))
+            pool->used[a.chunk] = false;
     }
 }
 
@@ -95,8 +113,7 @@ NamespaceManager::createAndAttach(pcie::FunctionId fn, std::uint64_t bytes,
     if (chunks == 0)
         return std::nullopt;
 
-    LbaMapGeometry geom;
-    if (chunks > geom.rows * geom.entriesPerRow)
+    if (chunks > _geom.rows * _geom.entriesPerRow)
         return std::nullopt;
 
     auto allocs = allocate(chunks, policy, pin_slot);
@@ -111,14 +128,14 @@ NamespaceManager::createAndAttach(pcie::FunctionId fn, std::uint64_t bytes,
 
     std::uint32_t nsid = _nextNsid[fn]++;
     NsBinding &binding =
-        _engine.bind(fn, nsid, bytes / nvme::kBlockSize, geom);
+        _engine.bind(fn, nsid, bytes / nvme::kBlockSize, _geom);
     for (const Allocation &a : *allocs) {
         auto pos = binding.map.appendChunk(a.chunk, a.slot);
         BMS_ASSERT(pos, "mapping table full despite size check");
     }
     if (!qos.unlimited())
         _engine.setQos(fn, nsid, qos);
-    _records.push_back(NsRecord{fn, nsid, std::move(*allocs)});
+    _records.push_back(NsRecord{fn, nsid, std::move(*allocs), 0});
     return nsid;
 }
 
@@ -177,6 +194,10 @@ NamespaceManager::destroy(pcie::FunctionId fn, std::uint32_t nsid)
                            });
     if (it == _records.end())
         return false;
+    // A live migration holds the namespace: destroying it now would
+    // free the destination chunk under the copier's feet.
+    if (it->locks > 0)
+        return false;
     release(it->allocs);
     _engine.unbind(fn, nsid);
     _records.erase(it);
@@ -186,11 +207,9 @@ NamespaceManager::destroy(pcie::FunctionId fn, std::uint32_t nsid)
 std::uint64_t
 NamespaceManager::freeChunks(int slot) const
 {
-    for (const auto &pool : _pools) {
-        if (pool.slot == slot) {
-            return static_cast<std::uint64_t>(
-                std::count(pool.used.begin(), pool.used.end(), false));
-        }
+    if (const Pool *pool = poolFor(slot)) {
+        return static_cast<std::uint64_t>(
+            std::count(pool->used.begin(), pool->used.end(), false));
     }
     return 0;
 }
@@ -198,10 +217,164 @@ NamespaceManager::freeChunks(int slot) const
 std::uint64_t
 NamespaceManager::totalChunks(int slot) const
 {
-    for (const auto &pool : _pools)
-        if (pool.slot == slot)
-            return pool.used.size();
+    if (const Pool *pool = poolFor(slot))
+        return pool->used.size();
     return 0;
+}
+
+std::vector<NamespaceManager::Occupancy>
+NamespaceManager::occupancy() const
+{
+    std::vector<Occupancy> out;
+    out.reserve(_pools.size());
+    for (const Pool &pool : _pools) {
+        Occupancy o;
+        o.slot = pool.slot;
+        o.total = pool.used.size();
+        o.used = static_cast<std::uint64_t>(
+            std::count(pool.used.begin(), pool.used.end(), true));
+        o.free = o.total - o.used;
+        o.quiesced = pool.quiesce > 0;
+        out.push_back(o);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Occupancy &a, const Occupancy &b) {
+                  return a.slot < b.slot;
+              });
+    return out;
+}
+
+std::vector<NamespaceManager::ChunkRef>
+NamespaceManager::chunksOn(int slot) const
+{
+    std::vector<ChunkRef> out;
+    for (const NsRecord &rec : _records) {
+        for (std::size_t i = 0; i < rec.allocs.size(); ++i) {
+            if (rec.allocs[i].slot == slot) {
+                out.push_back(ChunkRef{rec.fn, rec.nsid,
+                                       static_cast<std::uint32_t>(i),
+                                       rec.allocs[i].slot,
+                                       rec.allocs[i].chunk});
+            }
+        }
+    }
+    return out;
+}
+
+std::optional<NamespaceManager::Allocation>
+NamespaceManager::chunkAt(pcie::FunctionId fn, std::uint32_t nsid,
+                          std::uint32_t chunk_index) const
+{
+    for (const NsRecord &rec : _records) {
+        if (rec.fn != fn || rec.nsid != nsid)
+            continue;
+        if (chunk_index >= rec.allocs.size())
+            return std::nullopt;
+        return rec.allocs[chunk_index];
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint8_t>
+NamespaceManager::takeChunk(int slot)
+{
+    Pool *pool = poolFor(slot);
+    if (!pool || pool->quiesce > 0)
+        return std::nullopt;
+    for (std::size_t c = 0; c < pool->used.size(); ++c) {
+        if (!pool->used[c]) {
+            pool->used[c] = true;
+            return static_cast<std::uint8_t>(c);
+        }
+    }
+    return std::nullopt;
+}
+
+void
+NamespaceManager::releaseChunk(int slot, std::uint8_t chunk)
+{
+    Pool *pool = poolFor(slot);
+    BMS_ASSERT(pool && chunk < pool->used.size(),
+               "releaseChunk outside pool: slot=", slot, " chunk=",
+               int(chunk));
+    BMS_ASSERT(pool->used[chunk], "double free of chunk ", int(chunk),
+               " on slot ", slot);
+    pool->used[chunk] = false;
+}
+
+bool
+NamespaceManager::recordMove(pcie::FunctionId fn, std::uint32_t nsid,
+                             std::uint32_t chunk_index,
+                             std::uint8_t new_slot, std::uint8_t new_chunk)
+{
+    for (NsRecord &rec : _records) {
+        if (rec.fn != fn || rec.nsid != nsid)
+            continue;
+        if (chunk_index >= rec.allocs.size())
+            return false;
+        rec.allocs[chunk_index] = Allocation{new_slot, new_chunk};
+        return true;
+    }
+    return false;
+}
+
+bool
+NamespaceManager::lockNs(pcie::FunctionId fn, std::uint32_t nsid)
+{
+    for (NsRecord &rec : _records) {
+        if (rec.fn == fn && rec.nsid == nsid) {
+            ++rec.locks;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+NamespaceManager::unlockNs(pcie::FunctionId fn, std::uint32_t nsid)
+{
+    for (NsRecord &rec : _records) {
+        if (rec.fn == fn && rec.nsid == nsid) {
+            BMS_ASSERT(rec.locks > 0, "unlock of unlocked namespace fn=",
+                       fn, " nsid=", nsid);
+            --rec.locks;
+            return;
+        }
+    }
+    BMS_PANIC("unlock of unknown namespace fn=", fn, " nsid=", nsid);
+}
+
+bool
+NamespaceManager::locked(pcie::FunctionId fn, std::uint32_t nsid) const
+{
+    for (const NsRecord &rec : _records)
+        if (rec.fn == fn && rec.nsid == nsid)
+            return rec.locks > 0;
+    return false;
+}
+
+void
+NamespaceManager::quiesceAcquire(int slot)
+{
+    Pool *pool = poolFor(slot);
+    BMS_ASSERT(pool, "quiesce of unknown slot ", slot);
+    ++pool->quiesce;
+}
+
+void
+NamespaceManager::quiesceRelease(int slot)
+{
+    Pool *pool = poolFor(slot);
+    BMS_ASSERT(pool && pool->quiesce > 0,
+               "quiesce release of unquiesced slot ", slot);
+    --pool->quiesce;
+}
+
+bool
+NamespaceManager::quiesced(int slot) const
+{
+    const Pool *pool = poolFor(slot);
+    return pool && pool->quiesce > 0;
 }
 
 } // namespace bms::core

@@ -5,6 +5,11 @@
  * PF/VFs (paper §IV-C "the back-end storage resources can be
  * dynamically divided into multiple namespaces for the front-end
  * virtual function").
+ *
+ * Destroyed namespaces return their chunks to the per-SSD free pool,
+ * where allocate/grow and the MigrationManager reuse them. The same
+ * pools back the per-SSD occupancy report surfaced through the `df`
+ * console verb and `ioStats`.
  */
 
 #ifndef BMS_CORE_CTRL_NAMESPACE_MANAGER_HH
@@ -30,7 +35,37 @@ class NamespaceManager
         Dedicate,   ///< all chunks on one SSD (pin_slot required)
     };
 
-    explicit NamespaceManager(BmsEngine &engine) : _engine(engine) {}
+    /** One chunk's physical placement. */
+    struct Allocation
+    {
+        std::uint8_t slot;
+        std::uint8_t chunk;
+    };
+
+    /** Per-SSD chunk occupancy (the `df` report). */
+    struct Occupancy
+    {
+        int slot = 0;
+        std::uint64_t total = 0;
+        std::uint64_t used = 0;
+        std::uint64_t free = 0;
+        bool quiesced = false;
+    };
+
+    /** One mapped chunk and the namespace owning it. */
+    struct ChunkRef
+    {
+        pcie::FunctionId fn = 0;
+        std::uint32_t nsid = 1;
+        std::uint32_t chunkIndex = 0; ///< position in the mapping table
+        std::uint8_t slot = 0;
+        std::uint8_t chunk = 0;
+    };
+
+    explicit NamespaceManager(BmsEngine &engine,
+                              LbaMapGeometry geom = LbaMapGeometry())
+        : _engine(engine), _geom(geom)
+    {}
 
     /**
      * Register back-end SSD @p slot with @p capacity_bytes of raw
@@ -63,37 +98,75 @@ class NamespaceManager
     grow(pcie::FunctionId fn, std::uint32_t nsid, std::uint64_t extra_bytes,
          Policy policy = Policy::RoundRobin, int pin_slot = -1);
 
-    /** Destroy a namespace and free its chunks. */
+    /**
+     * Destroy a namespace and free its chunks. Refused (returns
+     * false) while a migration holds the namespace locked.
+     */
     bool destroy(pcie::FunctionId fn, std::uint32_t nsid);
 
     std::uint64_t freeChunks(int slot) const;
     std::uint64_t totalChunks(int slot) const;
 
-    /** Chunk size in blocks (from the default map geometry). */
-    std::uint64_t
-    chunkBlocks() const
-    {
-        return LbaMapGeometry().chunkBlocks;
-    }
+    /** Per-SSD chunk occupancy, one entry per registered slot. */
+    std::vector<Occupancy> occupancy() const;
+
+    /** Every mapped chunk currently on @p slot. */
+    std::vector<ChunkRef> chunksOn(int slot) const;
+
+    /** Placement of one namespace chunk by mapping-table index. */
+    std::optional<Allocation> chunkAt(pcie::FunctionId fn,
+                                      std::uint32_t nsid,
+                                      std::uint32_t chunk_index) const;
+
+    /** @name Migration support. */
+    /// @{
+    /** Reserve one free chunk on @p slot (refused while quiesced). */
+    std::optional<std::uint8_t> takeChunk(int slot);
+
+    /** Return a chunk to @p slot's free pool. */
+    void releaseChunk(int slot, std::uint8_t chunk);
+
+    /**
+     * Record that a namespace chunk moved (after the map entry
+     * flipped). The destination chunk must have been reserved with
+     * takeChunk(); the caller releases the source separately.
+     */
+    bool recordMove(pcie::FunctionId fn, std::uint32_t nsid,
+                    std::uint32_t chunk_index, std::uint8_t new_slot,
+                    std::uint8_t new_chunk);
+
+    /** Lock a namespace against destroy (nested). */
+    bool lockNs(pcie::FunctionId fn, std::uint32_t nsid);
+    void unlockNs(pcie::FunctionId fn, std::uint32_t nsid);
+    bool locked(pcie::FunctionId fn, std::uint32_t nsid) const;
+
+    /** Exclude @p slot from new allocations (nested, refcounted). */
+    void quiesceAcquire(int slot);
+    void quiesceRelease(int slot);
+    bool quiesced(int slot) const;
+    /// @}
+
+    const LbaMapGeometry &geometry() const { return _geom; }
+
+    /** Chunk size in blocks (from the configured map geometry). */
+    std::uint64_t chunkBlocks() const { return _geom.chunkBlocks; }
 
   private:
     struct Pool
     {
         int slot = 0;
         std::vector<bool> used;
-    };
-
-    struct Allocation
-    {
-        std::uint8_t slot;
-        std::uint8_t chunk;
+        int quiesce = 0;
     };
 
     std::optional<std::vector<Allocation>>
     allocate(std::uint32_t chunks, Policy policy, int pin_slot);
     void release(const std::vector<Allocation> &allocs);
+    Pool *poolFor(int slot);
+    const Pool *poolFor(int slot) const;
 
     BmsEngine &_engine;
+    LbaMapGeometry _geom;
     std::vector<Pool> _pools;
     int _rr = 0;
 
@@ -102,6 +175,7 @@ class NamespaceManager
         pcie::FunctionId fn;
         std::uint32_t nsid;
         std::vector<Allocation> allocs;
+        int locks = 0;
     };
     std::vector<NsRecord> _records;
     std::vector<std::uint32_t> _nextNsid =

@@ -9,6 +9,7 @@ BmsEngine::BmsEngine(sim::Simulator &sim, std::string name,
     : SimObject(sim, name), _cfg(cfg)
 {
     _qos = std::make_unique<QosModule>(sim, name + ".qos");
+    _gate = std::make_unique<MigrationGate>(sim, name + ".miggate");
     _target = std::make_unique<TargetController>(sim, name + ".target",
                                                  *this);
     _functions.reserve(static_cast<std::size_t>(_cfg.totalFunctions()));

@@ -31,6 +31,7 @@
 #include "core/engine/front_function.hh"
 #include "core/engine/host_adaptor.hh"
 #include "core/engine/lba_map.hh"
+#include "core/engine/migration_gate.hh"
 #include "core/engine/qos.hh"
 #include "core/engine/target_controller.hh"
 #include "pcie/device.hh"
@@ -124,6 +125,7 @@ class BmsEngine : public sim::SimObject, public pcie::PcieDeviceIf
     }
     QosModule &qos() { return *_qos; }
     TargetController &targetController() { return *_target; }
+    MigrationGate &migrationGate() { return *_gate; }
     ChipMemory &chipMemory() { return _chip; }
     /// @}
 
@@ -139,6 +141,7 @@ class BmsEngine : public sim::SimObject, public pcie::PcieDeviceIf
     std::vector<std::unique_ptr<pcie::PcieLink>> _ifaceLinks;
     std::vector<std::unique_ptr<HostAdaptor>> _adaptors;
     std::unique_ptr<QosModule> _qos;
+    std::unique_ptr<MigrationGate> _gate;
     std::unique_ptr<TargetController> _target;
     std::unordered_map<std::uint32_t, std::unique_ptr<NsBinding>> _bindings;
     /** Shared card-DRAM busy cursor (store-and-forward ablation). */

@@ -11,6 +11,27 @@ namespace {
 /** Token-bucket burst window: 10 ms of the configured rate. */
 constexpr double kBurstSec = 0.010;
 
+/** Byte-bucket capacity for a programmed bandwidth limit. */
+double
+byteCapacity(const QosLimits &limits)
+{
+    return std::max(limits.mbPerSecLimit * 1e6 * kBurstSec, 256.0 * 1024);
+}
+
+/**
+ * Upfront byte charge for one command. A command larger than the
+ * bucket can never accumulate enough credit, so it is admitted when
+ * the bucket is full (draining it completely); the remainder becomes
+ * debt that refill pays off before crediting new tokens, keeping the
+ * long-run rate exact. Without this, a low budget livelocks the
+ * dispatcher on any command above rate * burst window.
+ */
+double
+effectiveBytes(const QosLimits &limits, std::uint64_t bytes)
+{
+    return std::min(static_cast<double>(bytes), byteCapacity(limits));
+}
+
 } // namespace
 
 void
@@ -19,9 +40,11 @@ QosModule::setLimits(std::uint32_t ns_key, QosLimits limits)
     NsState &ns = _ns[ns_key];
     ns.limits = limits;
     ns.lastRefill = now();
-    // Start with a full burst allowance.
+    // Start with a full burst allowance and a clean slate — a
+    // reprogrammed threshold forgives debt from the old one.
     ns.opsTokens = limits.iopsLimit * kBurstSec;
     ns.byteTokens = limits.mbPerSecLimit * 1e6 * kBurstSec;
+    ns.byteDebt = 0.0;
 }
 
 const QosLimits *
@@ -49,10 +72,11 @@ QosModule::refill(NsState &ns)
                                          1.0));
     }
     if (ns.limits.mbPerSecLimit > 0.0) {
-        double rate = ns.limits.mbPerSecLimit * 1e6;
-        ns.byteTokens =
-            std::min(ns.byteTokens + rate * dt,
-                     std::max(rate * kBurstSec, 256.0 * 1024));
+        double credit = ns.limits.mbPerSecLimit * 1e6 * dt;
+        double paid = std::min(ns.byteDebt, credit);
+        ns.byteDebt -= paid;
+        ns.byteTokens = std::min(ns.byteTokens + credit - paid,
+                                 byteCapacity(ns.limits));
     }
 }
 
@@ -61,14 +85,17 @@ QosModule::tryConsume(NsState &ns, std::uint64_t bytes)
 {
     bool need_ops = ns.limits.iopsLimit > 0.0;
     bool need_bytes = ns.limits.mbPerSecLimit > 0.0;
+    double eff = effectiveBytes(ns.limits, bytes);
     if (need_ops && ns.opsTokens < 1.0)
         return false;
-    if (need_bytes && ns.byteTokens < static_cast<double>(bytes))
+    if (need_bytes && ns.byteTokens < eff)
         return false;
     if (need_ops)
         ns.opsTokens -= 1.0;
-    if (need_bytes)
-        ns.byteTokens -= static_cast<double>(bytes);
+    if (need_bytes) {
+        ns.byteTokens -= eff;
+        ns.byteDebt += static_cast<double>(bytes) - eff;
+    }
     return true;
 }
 
@@ -82,7 +109,9 @@ QosModule::readyDelay(const NsState &ns, std::uint64_t bytes) const
     }
     if (ns.limits.mbPerSecLimit > 0.0) {
         double rate = ns.limits.mbPerSecLimit * 1e6;
-        double deficit = static_cast<double>(bytes) - ns.byteTokens;
+        // Refill pays standing debt before crediting new tokens.
+        double deficit = ns.byteDebt +
+                         effectiveBytes(ns.limits, bytes) - ns.byteTokens;
         if (deficit > 0.0)
             wait_sec = std::max(wait_sec, deficit / rate);
     }
@@ -159,6 +188,8 @@ QosModule::checkInvariants() const
                    ns.opsTokens, " for namespace key ", key);
         BMS_ASSERT(ns.byteTokens >= 0.0, "negative byte credit ",
                    ns.byteTokens, " for namespace key ", key);
+        BMS_ASSERT(ns.byteDebt >= 0.0, "negative byte debt ",
+                   ns.byteDebt, " for namespace key ", key);
         BMS_ASSERT_LE(ns.buffer.size(), kMaxBufferDepth,
                       "command buffer over capacity for namespace key ",
                       key);

@@ -101,6 +101,9 @@ class QosModule : public sim::SimObject
         QosLimits limits;
         double opsTokens = 0.0;
         double byteTokens = 0.0;
+        /** Unpaid remainder of commands larger than the bucket;
+         *  refill pays this off before crediting new tokens. */
+        double byteDebt = 0.0;
         sim::Tick lastRefill = 0;
         std::deque<std::pair<std::uint64_t, std::function<void()>>> buffer;
         bool dispatchScheduled = false;

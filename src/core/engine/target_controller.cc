@@ -69,7 +69,7 @@ TargetController::forward(FrontFunction &fn, const Sqe &sqe,
     // Carve the command into chunk-contiguous extents (almost always
     // exactly one: chunks are 64 GiB and host I/O is <= 2 MiB).
     const std::uint64_t chunk_blocks = binding.map.geometry().chunkBlocks;
-    std::vector<Extent> extents;
+    std::vector<PhysExtent> extents;
     std::uint64_t lba = sqe.slba();
     std::uint64_t remaining = sqe.nlb();
     std::uint64_t byte_off = 0;
@@ -81,47 +81,64 @@ TargetController::forward(FrontFunction &fn, const Sqe &sqe,
             fail(fn, sqe, sqid, Status::LbaOutOfRange);
             return;
         }
-        extents.push_back(Extent{mapping->ssdId, mapping->physLba,
-                                 byte_off, blocks});
+        extents.push_back(PhysExtent{mapping->ssdId, mapping->physLba,
+                                     byte_off, blocks});
         lba += blocks;
         remaining -= blocks;
         byte_off += blocks * nvme::kBlockSize;
     }
 
-    std::uint64_t len = sqe.dataBytes();
-    if (!nvme::needsPrpList(sqe.prp1, len)) {
-        std::vector<std::uint64_t> pages;
-        pages.push_back(sqe.prp1);
-        if (nvme::prpPageCount(sqe.prp1, len) == 2)
-            pages.push_back(sqe.prp2);
-        dispatchExtents(fn, sqe, sqid, std::move(extents),
-                        std::move(pages));
-        return;
-    }
+    // Step ②½: the migration gate pins the physical chunks at
+    // translate time — a command dispatched later (e.g. after a PRP
+    // list fetch) still targets chunks the gate knows about, writes
+    // may pick up mirror legs or be held while a segment copy runs.
+    const bool is_write =
+        static_cast<IoOpcode>(sqe.opcode) == IoOpcode::Write;
+    _engine.migrationGate().admit(
+        is_write, std::move(extents), chunk_blocks,
+        [this, &fn, sqe, sqid](std::uint64_t token,
+                               std::vector<PhysExtent> extents,
+                               std::vector<PhysExtent> mirrors) mutable {
+            std::uint64_t len = sqe.dataBytes();
+            if (!nvme::needsPrpList(sqe.prp1, len)) {
+                std::vector<std::uint64_t> pages;
+                pages.push_back(sqe.prp1);
+                if (nvme::prpPageCount(sqe.prp1, len) == 2)
+                    pages.push_back(sqe.prp2);
+                dispatch(fn, sqe, sqid, token, std::move(extents),
+                         std::move(mirrors), std::move(pages));
+                return;
+            }
 
-    // Step ③: fetch the host PRP list over the host link, rewrite it
-    // into global PRPs, and stage the rewritten copy in chip memory.
-    std::uint32_t entries = nvme::prpPageCount(sqe.prp1, len) - 1;
-    auto raw = std::make_shared<std::vector<std::uint64_t>>(entries);
-    _engine.hostUpstream()->dmaRead(
-        sqe.prp2, static_cast<std::uint32_t>(entries * 8),
-        reinterpret_cast<std::uint8_t *>(raw->data()),
-        [this, &fn, sqe, sqid, extents = std::move(extents), raw]() mutable {
-            std::vector<std::uint64_t> pages;
-            pages.reserve(raw->size() + 1);
-            pages.push_back(sqe.prp1);
-            for (std::uint64_t e : *raw)
-                pages.push_back(e);
-            dispatchExtents(fn, sqe, sqid, std::move(extents),
-                            std::move(pages));
+            // Step ③: fetch the host PRP list over the host link,
+            // rewrite it into global PRPs, and stage the rewritten
+            // copy in chip memory.
+            std::uint32_t entries = nvme::prpPageCount(sqe.prp1, len) - 1;
+            auto raw =
+                std::make_shared<std::vector<std::uint64_t>>(entries);
+            _engine.hostUpstream()->dmaRead(
+                sqe.prp2, static_cast<std::uint32_t>(entries * 8),
+                reinterpret_cast<std::uint8_t *>(raw->data()),
+                [this, &fn, sqe, sqid, token,
+                 extents = std::move(extents),
+                 mirrors = std::move(mirrors), raw]() mutable {
+                    std::vector<std::uint64_t> pages;
+                    pages.reserve(raw->size() + 1);
+                    pages.push_back(sqe.prp1);
+                    for (std::uint64_t e : *raw)
+                        pages.push_back(e);
+                    dispatch(fn, sqe, sqid, token, std::move(extents),
+                             std::move(mirrors), std::move(pages));
+                });
         });
 }
 
 void
-TargetController::dispatchExtents(FrontFunction &fn, const Sqe &sqe,
-                                  std::uint16_t sqid,
-                                  std::vector<Extent> extents,
-                                  std::vector<std::uint64_t> host_pages)
+TargetController::dispatch(FrontFunction &fn, const Sqe &sqe,
+                           std::uint16_t sqid, std::uint64_t gate_token,
+                           std::vector<PhysExtent> extents,
+                           std::vector<PhysExtent> mirrors,
+                           std::vector<std::uint64_t> host_pages)
 {
     BMS_ASSERT(!extents.empty(), "I/O resolved to no extents");
     const pcie::FunctionId fn_id = fn.functionId();
@@ -131,40 +148,48 @@ TargetController::dispatchExtents(FrontFunction &fn, const Sqe &sqe,
                       "chunk-straddling I/O requires page-aligned buffers");
     }
 
-    auto remaining = std::make_shared<std::size_t>(extents.size());
+    auto remaining =
+        std::make_shared<std::size_t>(extents.size() + mirrors.size());
     auto worst = std::make_shared<Status>(Status::Success);
+    auto mirror_ok = std::make_shared<bool>(true);
     std::uint16_t cid = sqe.cid;
-    auto on_backend_cqe = [this, &fn, sqid, cid, remaining,
-                           worst](const nvme::Cqe &cqe) {
+    auto finish = [this, &fn, sqid, cid, gate_token, remaining, worst,
+                   mirror_ok] {
+        if (--*remaining != 0)
+            return;
+        _engine.migrationGate().complete(gate_token, *mirror_ok);
+        // Step ⑦: post the front-end CQE after the completion
+        // pipeline.
+        Status st = *worst;
+        if (st != Status::Success)
+            ++_errors;
+        schedule(_engine.config().completionPipelineDelay,
+                 [&fn, sqid, cid, st] { fn.complete(sqid, cid, st); });
+    };
+    auto on_backend_cqe = [worst, finish](const nvme::Cqe &cqe) {
         if (!cqe.ok())
             *worst = cqe.status();
-        if (--*remaining == 0) {
-            // Step ⑦: post the front-end CQE after the completion
-            // pipeline.
-            Status st = *worst;
-            if (st != Status::Success)
-                ++_errors;
-            schedule(_engine.config().completionPipelineDelay,
-                     [&fn, sqid, cid, st] { fn.complete(sqid, cid, st); });
-        }
+        finish();
+    };
+    // The source leg stays authoritative: a failed mirror does not
+    // fail the tenant write, it dirties the touched segments so the
+    // migration re-copies them.
+    auto on_mirror_cqe = [mirror_ok, finish](const nvme::Cqe &cqe) {
+        if (!cqe.ok())
+            *mirror_ok = false;
+        finish();
     };
 
-    for (const Extent &ext : extents) {
-        HostAdaptor &ad = _engine.adaptor(ext.ssdId);
-        if (!ad.ready()) {
-            *worst = Status::NamespaceNotReady;
-            on_backend_cqe(nvme::Cqe{});
-            continue;
-        }
-
+    const bool single = extents.size() == 1;
+    auto build_sqe = [this, &sqe, fn_id, single,
+                      &host_pages](const PhysExtent &ext) {
         Sqe bsqe = sqe;
         bsqe.nsid = 1; // back-end SSDs expose one raw namespace
         bsqe.setSlba(ext.physLba);
         bsqe.setNlb(static_cast<std::uint32_t>(ext.blocks));
 
         std::uint64_t ext_len = ext.blocks * nvme::kBlockSize;
-        std::size_t first_page = 0;
-        if (extents.size() == 1) {
+        if (single) {
             // Fast path: rewrite PRP1/PRP2 in place (step ③).
             bsqe.prp1 = GlobalPrp::encode(sqe.prp1, fn_id, false);
             std::uint32_t pages = nvme::prpPageCount(sqe.prp1,
@@ -189,7 +214,7 @@ TargetController::dispatchExtents(FrontFunction &fn, const Sqe &sqe,
             }
         } else {
             // Split path: select this extent's pages.
-            first_page = ext.byteOffset / nvme::kPageSize;
+            std::size_t first_page = ext.byteOffset / nvme::kPageSize;
             std::size_t page_count =
                 (ext_len + nvme::kPageSize - 1) / nvme::kPageSize;
             BMS_ASSERT_LE(first_page + page_count, host_pages.size(),
@@ -215,9 +240,27 @@ TargetController::dispatchExtents(FrontFunction &fn, const Sqe &sqe,
                 bsqe.prp2 = GlobalPrp::encode(chip_addr, fn_id, true);
             }
         }
+        return bsqe;
+    };
 
+    for (const PhysExtent &ext : extents) {
+        HostAdaptor &ad = _engine.adaptor(ext.ssdId);
+        if (!ad.ready()) {
+            *worst = Status::NamespaceNotReady;
+            finish();
+            continue;
+        }
         ++_forwarded;
-        ad.submitIo(bsqe, on_backend_cqe);
+        ad.submitIo(build_sqe(ext), on_backend_cqe);
+    }
+    for (const PhysExtent &m : mirrors) {
+        HostAdaptor &ad = _engine.adaptor(m.ssdId);
+        if (!ad.ready()) {
+            *mirror_ok = false;
+            finish();
+            continue;
+        }
+        ad.submitIo(build_sqe(m), on_mirror_cqe);
     }
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/engine/engine_config.hh"
+#include "core/engine/migration_gate.hh"
 #include "nvme/defs.hh"
 #include "sim/simulator.hh"
 
@@ -51,22 +52,15 @@ class TargetController : public sim::SimObject
     /// @}
 
   private:
-    struct Extent
-    {
-        std::uint8_t ssdId = 0;
-        std::uint64_t physLba = 0;
-        std::uint64_t byteOffset = 0; ///< offset within the transfer
-        std::uint64_t blocks = 0;
-    };
-
     void forward(FrontFunction &fn, const nvme::Sqe &sqe,
                  std::uint16_t sqid, NsBinding &binding);
     void forwardFlush(FrontFunction &fn, const nvme::Sqe &sqe,
                       std::uint16_t sqid, NsBinding &binding);
-    void dispatchExtents(FrontFunction &fn, const nvme::Sqe &sqe,
-                         std::uint16_t sqid,
-                         std::vector<Extent> extents,
-                         std::vector<std::uint64_t> host_pages);
+    void dispatch(FrontFunction &fn, const nvme::Sqe &sqe,
+                  std::uint16_t sqid, std::uint64_t gate_token,
+                  std::vector<PhysExtent> extents,
+                  std::vector<PhysExtent> mirrors,
+                  std::vector<std::uint64_t> host_pages);
     void fail(FrontFunction &fn, const nvme::Sqe &sqe, std::uint16_t sqid,
               nvme::Status st);
 

@@ -152,6 +152,18 @@ MgmtConsole::ioStats(Eid ctrl, std::uint8_t fn,
                 s.writeIops = r.f64();
                 s.readMbps = r.f64();
                 s.writeMbps = r.f64();
+                std::uint8_t slots = r.u8();
+                for (std::uint8_t i = 0; i < slots && r.ok(); ++i) {
+                    MiDfEntry e;
+                    e.slot = r.u8();
+                    e.totalChunks = r.u64();
+                    e.usedChunks = r.u64();
+                    e.freeChunks = r.u64();
+                    e.quiesced = r.u8() != 0;
+                    e.chunkBytes = r.u64();
+                    if (r.ok())
+                        s.slots.push_back(e);
+                }
                 cb(r.ok() ? std::optional<MiIoStats>(s) : std::nullopt);
             });
 }
@@ -181,10 +193,12 @@ MgmtConsole::firmwareUpgrade(Eid ctrl, std::uint8_t slot,
 
 void
 MgmtConsole::hotPlug(Eid ctrl, std::uint8_t slot,
-                     std::function<void(MiHotPlugResult)> cb)
+                     std::function<void(MiHotPlugResult)> cb,
+                     bool lossless)
 {
     wire::Writer w;
     w.u8(slot);
+    w.u8(lossless ? 1 : 0);
     request(ctrl, MiOpcode::VendorHotPlug, w.take(),
             [cb = std::move(cb)](const MiMessage &resp) {
                 MiHotPlugResult res;
@@ -192,7 +206,104 @@ MgmtConsole::hotPlug(Eid ctrl, std::uint8_t slot,
                 res.ok = r.u8() != 0 &&
                          resp.status == MiStatus::Success;
                 res.ioPauseMs = r.f64();
+                res.evacuatedChunks = r.u32();
+                res.evacMs = r.f64();
                 cb(res);
+            });
+}
+
+void
+MgmtConsole::migrateChunk(Eid ctrl, std::uint8_t fn, std::uint32_t nsid,
+                          std::uint32_t chunk_index, std::uint8_t dst_slot,
+                          std::function<void(MiMigrateResult)> cb)
+{
+    wire::Writer w;
+    w.u8(fn);
+    w.u32(nsid);
+    w.u32(chunk_index);
+    w.u8(dst_slot);
+    request(ctrl, MiOpcode::VendorMigrateChunk, w.take(),
+            [cb = std::move(cb)](const MiMessage &resp) {
+                MiMigrateResult res;
+                wire::Reader r(resp.payload);
+                res.ok = r.u8() != 0 &&
+                         resp.status == MiStatus::Success;
+                res.dstSlot = r.u8();
+                res.elapsedMs = r.f64();
+                res.bytesCopied = r.u64();
+                cb(res);
+            });
+}
+
+void
+MgmtConsole::evacuate(Eid ctrl, std::uint8_t slot,
+                      std::function<void(MiEvacuateResult)> cb)
+{
+    wire::Writer w;
+    w.u8(slot);
+    request(ctrl, MiOpcode::VendorEvacuate, w.take(),
+            [cb = std::move(cb)](const MiMessage &resp) {
+                MiEvacuateResult res;
+                wire::Reader r(resp.payload);
+                res.ok = r.u8() != 0 &&
+                         resp.status == MiStatus::Success;
+                res.moved = r.u32();
+                res.failed = r.u32();
+                res.elapsedMs = r.f64();
+                cb(res);
+            });
+}
+
+void
+MgmtConsole::migrations(
+    Eid ctrl, std::function<void(std::vector<MiMigrationInfo>)> cb)
+{
+    request(ctrl, MiOpcode::VendorMigrationStatus, {},
+            [cb = std::move(cb)](const MiMessage &resp) {
+                std::vector<MiMigrationInfo> out;
+                wire::Reader r(resp.payload);
+                std::uint8_t n = r.u8();
+                for (std::uint8_t i = 0; i < n && r.ok(); ++i) {
+                    MiMigrationInfo m;
+                    m.id = r.u32();
+                    m.fn = r.u8();
+                    m.nsid = r.u32();
+                    m.chunkIndex = r.u32();
+                    m.srcSlot = r.u8();
+                    m.srcChunk = r.u8();
+                    m.dstSlot = r.u8();
+                    m.dstChunk = r.u8();
+                    m.state = r.u8();
+                    m.copiedSegments = r.u32();
+                    m.totalSegments = r.u32();
+                    m.bytesCopied = r.u64();
+                    if (r.ok())
+                        out.push_back(m);
+                }
+                cb(std::move(out));
+            });
+}
+
+void
+MgmtConsole::df(Eid ctrl, std::function<void(std::vector<MiDfEntry>)> cb)
+{
+    request(ctrl, MiOpcode::VendorDf, {},
+            [cb = std::move(cb)](const MiMessage &resp) {
+                std::vector<MiDfEntry> out;
+                wire::Reader r(resp.payload);
+                std::uint8_t n = r.u8();
+                for (std::uint8_t i = 0; i < n && r.ok(); ++i) {
+                    MiDfEntry e;
+                    e.slot = r.u8();
+                    e.totalChunks = r.u64();
+                    e.usedChunks = r.u64();
+                    e.freeChunks = r.u64();
+                    e.quiesced = r.u8() != 0;
+                    e.chunkBytes = r.u64();
+                    if (r.ok())
+                        out.push_back(e);
+                }
+                cb(std::move(out));
             });
 }
 

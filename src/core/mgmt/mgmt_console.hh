@@ -55,8 +55,26 @@ class MgmtConsole : public sim::SimObject
                          std::uint32_t image_bytes,
                          std::function<void(MiUpgradeResult)> cb);
 
+    /** @p lossless drains the slot via migration before the swap. */
     void hotPlug(Eid ctrl, std::uint8_t slot,
-                 std::function<void(MiHotPlugResult)> cb);
+                 std::function<void(MiHotPlugResult)> cb,
+                 bool lossless = false);
+
+    /** Migrate one namespace chunk; dst_slot 0xFF = auto-pick. */
+    void migrateChunk(Eid ctrl, std::uint8_t fn, std::uint32_t nsid,
+                      std::uint32_t chunk_index, std::uint8_t dst_slot,
+                      std::function<void(MiMigrateResult)> cb);
+
+    /** Drain every chunk off @p slot onto the other SSDs. */
+    void evacuate(Eid ctrl, std::uint8_t slot,
+                  std::function<void(MiEvacuateResult)> cb);
+
+    /** Active + queued + recent migrations. */
+    void migrations(Eid ctrl,
+                    std::function<void(std::vector<MiMigrationInfo>)> cb);
+
+    /** Per-SSD chunk occupancy. */
+    void df(Eid ctrl, std::function<void(std::vector<MiDfEntry>)> cb);
     /// @}
 
     std::uint64_t requestsSent() const { return _requests; }

@@ -34,6 +34,10 @@ enum class MiOpcode : std::uint8_t
     VendorFirmwareUpgrade = 0xC4,
     VendorHotPlug = 0xC5,
     VendorSetQos = 0xC6,
+    VendorMigrateChunk = 0xC7,
+    VendorEvacuate = 0xC8,
+    VendorMigrationStatus = 0xC9,
+    VendorDf = 0xCA,
 };
 
 /** NVMe-MI response status. */
@@ -108,6 +112,17 @@ struct SlotHealth
     /// @}
 };
 
+/** Per-SSD chunk occupancy (VendorDf response / ioStats tail). */
+struct MiDfEntry
+{
+    std::uint8_t slot = 0;
+    std::uint64_t totalChunks = 0;
+    std::uint64_t usedChunks = 0;
+    std::uint64_t freeChunks = 0;
+    bool quiesced = false;
+    std::uint64_t chunkBytes = 0;
+};
+
 /** Per-function I/O statistics (VendorIoStats response). */
 struct MiIoStats
 {
@@ -117,6 +132,8 @@ struct MiIoStats
     double writeIops = 0.0;
     double readMbps = 0.0;
     double writeMbps = 0.0;
+    /** Per-SSD occupancy appended by controllers that track it. */
+    std::vector<MiDfEntry> slots;
 };
 
 /** Firmware upgrade outcome (VendorFirmwareUpgrade response). */
@@ -135,6 +152,44 @@ struct MiHotPlugResult
 {
     bool ok = false;
     double ioPauseMs = 0.0;
+    /** @name Lossless replacement only. */
+    /// @{
+    std::uint32_t evacuatedChunks = 0;
+    double evacMs = 0.0;
+    /// @}
+};
+
+/** Chunk migration outcome (VendorMigrateChunk response). */
+struct MiMigrateResult
+{
+    bool ok = false;
+    std::uint8_t dstSlot = 0;
+    double elapsedMs = 0.0;
+    std::uint64_t bytesCopied = 0;
+};
+
+/** SSD evacuation outcome (VendorEvacuate response). */
+struct MiEvacuateResult
+{
+    bool ok = false;
+    std::uint32_t moved = 0;
+    std::uint32_t failed = 0;
+    double elapsedMs = 0.0;
+};
+
+/** One migration's progress (VendorMigrationStatus response). */
+struct MiMigrationInfo
+{
+    std::uint32_t id = 0;
+    std::uint8_t fn = 0;
+    std::uint32_t nsid = 1;
+    std::uint32_t chunkIndex = 0;
+    std::uint8_t srcSlot = 0, srcChunk = 0;
+    std::uint8_t dstSlot = 0, dstChunk = 0;
+    std::uint8_t state = 0; ///< MigrationState
+    std::uint32_t copiedSegments = 0;
+    std::uint32_t totalSegments = 0;
+    std::uint64_t bytesCopied = 0;
 };
 /// @}
 

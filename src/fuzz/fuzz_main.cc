@@ -3,7 +3,8 @@
  * Standalone fuzz driver.
  *
  *   fuzz [--seed=N | --seeds=A:B] [--horizon-ms=N] [--max-tenants=N]
- *        [--max-ssds=N] [--no-faults] [--no-control] [--no-upgrade]
+ *        [--max-ssds=N] [--min-ssds=N] [--no-faults] [--no-control]
+ *        [--no-upgrade] [--no-migration] [--force-migration]
  *        [--paranoid] [--log=LEVEL]
  *
  * BMS_FUZZ_SEED=N is equivalent to --seed=N (repro from CI logs).
@@ -39,7 +40,8 @@ printReport(const fuzz::FuzzReport &r)
     std::printf("seed=%llu ok: tenants=%d ssds=%d ops=%llu "
                 "verified-blocks=%llu errors=%llu ctrl=%llu upgrades=%u "
                 "rejected=%u fault-windows=%d media-errors=%llu "
-                "spikes=%llu max-gap=%.1fms\n",
+                "spikes=%llu migrations=%u/%u/%u/%u evac=%u "
+                "migrated-mb=%.1f max-gap=%.1fms\n",
                 static_cast<unsigned long long>(r.seed), r.tenants, r.ssds,
                 static_cast<unsigned long long>(r.totalOps),
                 static_cast<unsigned long long>(r.verifiedBlocks),
@@ -48,6 +50,9 @@ printReport(const fuzz::FuzzReport &r)
                 r.upgradeRejections, r.faultWindows,
                 static_cast<unsigned long long>(r.injectedMediaErrors),
                 static_cast<unsigned long long>(r.injectedLatencySpikes),
+                r.migrationsStarted, r.migrationsCompleted,
+                r.migrationsAborted, r.migrationsRejected, r.evacuations,
+                static_cast<double>(r.migratedBytes) / 1e6,
                 sim::toMs(r.maxCompletionGap));
 }
 
@@ -86,12 +91,18 @@ main(int argc, char **argv)
             cfg.maxTenants = static_cast<int>(v);
         } else if (parseU64(a, "--max-ssds=", v)) {
             cfg.maxSsds = static_cast<int>(v);
+        } else if (parseU64(a, "--min-ssds=", v)) {
+            cfg.minSsds = static_cast<int>(v);
         } else if (std::strcmp(a, "--no-faults") == 0) {
             cfg.enableFaults = false;
         } else if (std::strcmp(a, "--no-control") == 0) {
             cfg.enableControlOps = false;
         } else if (std::strcmp(a, "--no-upgrade") == 0) {
             cfg.enableHotUpgrade = false;
+        } else if (std::strcmp(a, "--no-migration") == 0) {
+            cfg.enableMigration = false;
+        } else if (std::strcmp(a, "--force-migration") == 0) {
+            cfg.forceMigration = true;
         } else if (std::strncmp(a, "--paranoid", 10) == 0 ||
                    std::strncmp(a, "--log=", 6) == 0) {
             // handled by applyCommonFlags

@@ -17,6 +17,8 @@ Fuzzer::Fuzzer(FuzzConfig cfg) : _cfg(cfg), _log(cfg.opLogCapacity)
                _cfg.maxTenants);
     BMS_ASSERT(_cfg.maxSsds >= 1 && _cfg.maxSsds <= 4,
                "back end has 4 SSD slots: ", _cfg.maxSsds);
+    BMS_ASSERT(_cfg.minSsds >= 1 && _cfg.minSsds <= _cfg.maxSsds,
+               "minSsds must be in [1, maxSsds]: ", _cfg.minSsds);
     BMS_ASSERT(_cfg.horizon >= sim::milliseconds(10),
                "horizon too short to schedule control ops");
 }
@@ -167,20 +169,12 @@ Fuzzer::scheduleControlOps(sim::Rng &rng)
                             return;
                         }
                         _bed->sim().scheduleAfter(
-                            destroy_after, [this, &console, eid, vf,
-                                            nsid = *nsid] {
+                            destroy_after,
+                            [this, eid, vf, nsid = *nsid] {
                                 _log.record(_bed->sim().now(),
                                             "ctrl destroyNs vf=" +
                                                 std::to_string(vf));
-                                console.destroyNamespace(
-                                    eid, vf, nsid, [this](bool ok) {
-                                        BMS_ASSERT(
-                                            ok,
-                                            "scratch namespace destroy "
-                                            "failed");
-                                        ++_controlOps;
-                                        --_pendingControl;
-                                    });
+                                destroyScratch(eid, vf, nsid, 0);
                             });
                     });
             });
@@ -203,6 +197,150 @@ Fuzzer::scheduleControlOps(sim::Rng &rng)
             break;
           }
         }
+    }
+}
+
+void
+Fuzzer::destroyScratch(core::Eid eid, std::uint8_t vf,
+                       std::uint32_t nsid, int attempt)
+{
+    _bed->console().destroyNamespace(
+        eid, vf, nsid, [this, eid, vf, nsid, attempt](bool ok) {
+            if (ok) {
+                ++_controlOps;
+                --_pendingControl;
+                return;
+            }
+            // A migration (usually an evacuation sweeping the scratch
+            // chunk along) holds the namespace locked; destroy is
+            // refused until the copy settles, so retry.
+            if (attempt >= 200)
+                fail("scratch namespace destroy kept failing");
+            _bed->sim().scheduleAfter(
+                sim::milliseconds(5), [this, eid, vf, nsid, attempt] {
+                    destroyScratch(eid, vf, nsid, attempt + 1);
+                });
+        });
+}
+
+void
+Fuzzer::scheduleMigrations(sim::Rng &rng)
+{
+    if (!_cfg.enableMigration || _bed->ssdCount() < 2)
+        return;
+    sim::Simulator &sim = _bed->sim();
+    core::MgmtConsole &console = _bed->console();
+    core::Eid eid = _bed->controller().endpoint().eid();
+    int n = _cfg.forceMigration
+                ? 3
+                : static_cast<int>(rng.uniformInt(0, 3));
+    sim::Tick first_at = 0;
+    for (int i = 0; i < n; ++i) {
+        sim::Tick at =
+            _start + static_cast<sim::Tick>(
+                         rng.uniformDouble(0.05, 0.6) *
+                         static_cast<double>(_cfg.horizon));
+        if (first_at == 0 || at < first_at)
+            first_at = at;
+        // Pinned seeds always get one migrate and one evacuate.
+        int kind = _cfg.forceMigration && i < 2
+                       ? i
+                       : static_cast<int>(rng.uniformInt(0, 3));
+        switch (kind) {
+          case 0: {
+            auto tenant_ix = rng.uniformInt(0, _tenants.size() - 1);
+            auto fn = _tenants[tenant_ix].fn;
+            auto chunk_ix =
+                static_cast<std::uint32_t>(rng.uniformInt(0, 1));
+            ++_pendingControl;
+            sim.scheduleAt(at, [this, &console, eid, fn, chunk_ix] {
+                _log.record(_bed->sim().now(),
+                            "ctrl migrate fn=" + std::to_string(fn) +
+                                " chunk=" + std::to_string(chunk_ix));
+                // May fail legally: chunk index past the namespace
+                // end, destination full, or copy faulted out.
+                console.migrateChunk(
+                    eid, static_cast<std::uint8_t>(fn), 1, chunk_ix,
+                    0xFF, [this](core::MiMigrateResult) {
+                        ++_controlOps;
+                        --_pendingControl;
+                    });
+            });
+            break;
+          }
+          case 1: {
+            int slot = static_cast<int>(
+                rng.uniformInt(0, _bed->ssdCount() - 1));
+            ++_pendingControl;
+            sim.scheduleAt(at, [this, &console, eid, slot] {
+                _log.record(_bed->sim().now(),
+                            "ctrl evacuate slot=" + std::to_string(slot));
+                console.evacuate(
+                    eid, static_cast<std::uint8_t>(slot),
+                    [this](core::MiEvacuateResult) {
+                        ++_controlOps;
+                        --_pendingControl;
+                    });
+            });
+            break;
+          }
+          case 2:
+            ++_pendingControl;
+            sim.scheduleAt(at, [this, &console, eid] {
+                _log.record(_bed->sim().now(), "ctrl migrations");
+                console.migrations(
+                    eid, [this](std::vector<core::MiMigrationInfo>) {
+                        ++_controlOps;
+                        --_pendingControl;
+                    });
+            });
+            break;
+          default:
+            ++_pendingControl;
+            sim.scheduleAt(at, [this, &console, eid] {
+                _log.record(_bed->sim().now(), "ctrl df");
+                console.df(eid, [this](std::vector<core::MiDfEntry> df) {
+                    BMS_ASSERT_EQ(df.size(),
+                                  static_cast<std::size_t>(
+                                      _bed->ssdCount()),
+                                  "df must report every slot");
+                    ++_controlOps;
+                    --_pendingControl;
+                });
+            });
+            break;
+        }
+    }
+    // Pin a fault window over the first migration op, with error and
+    // latency rates on EVERY slot so both the copy's source and its
+    // destination legs see faults mid-flight.
+    if (_cfg.enableFaults && n > 0) {
+        sim::Tick t1 =
+            first_at + static_cast<sim::Tick>(
+                           rng.uniformDouble(0.1, 0.3) *
+                           static_cast<double>(_cfg.horizon));
+        std::vector<ssd::FaultConfig> rates(_bed->ssdCount());
+        for (auto &r : rates) {
+            r.readErrorRate = rng.uniformDouble(0.002, 0.03);
+            r.writeErrorRate = rng.uniformDouble(0.002, 0.03);
+            r.latencySpikeRate = rng.uniformDouble(0.005, 0.03);
+        }
+        sim.scheduleAt(first_at, [this, rates] {
+            _log.record(_bed->sim().now(),
+                        "fault window OPEN (migration)");
+            ++_faultWindows;
+            _faultsEverActive = true;
+            for (int s = 0; s < _bed->ssdCount(); ++s)
+                _bed->ssd(s).faults() = rates[static_cast<std::size_t>(s)];
+            for (Tenant &t : _tenants)
+                t.oracle->setFaultsActive(true);
+        });
+        sim.scheduleAt(t1, [this] {
+            _log.record(_bed->sim().now(),
+                        "fault window CLOSE (migration)");
+            for (int s = 0; s < _bed->ssdCount(); ++s)
+                _bed->ssd(s).faults() = ssd::FaultConfig{};
+        });
     }
 }
 
@@ -347,13 +485,19 @@ Fuzzer::run()
 {
     sim::Rng rng(_cfg.seed ^ 0xfa57'f00d'5eedULL);
     // Topology from the seed.
-    int ssds = 1 + static_cast<int>(rng.uniformInt(0, _cfg.maxSsds - 1));
+    int ssds = _cfg.minSsds +
+               static_cast<int>(
+                   rng.uniformInt(0, _cfg.maxSsds - _cfg.minSsds));
     harness::TestbedConfig tb;
     tb.ssdCount = ssds;
     tb.seed = _cfg.seed;
     tb.ssd.functionalData = true;
     // Occasionally run the store-and-forward ablation datapath.
     tb.engine.zeroCopy = !rng.chance(0.2);
+    // Migration runs shrink chunks (8/16/32 MiB instead of 64 GiB) so
+    // a whole-chunk copy fits inside the simulated horizon.
+    if (_cfg.enableMigration)
+        tb.chunkBytes = sim::mib(8ull << rng.uniformInt(0, 2));
     _bed = std::make_unique<harness::BmStoreTestbed>(tb);
     _start = _bed->sim().now();
     _log.record(_start, "run start: seed=" + std::to_string(_cfg.seed) +
@@ -366,6 +510,7 @@ Fuzzer::run()
     _start = _bed->sim().now();
     scheduleControlOps(rng);
     scheduleUpgrades(rng);
+    scheduleMigrations(rng);
     scheduleFaultWindows(rng);
 
     _bed->sim().runUntil(_start + _cfg.horizon);
@@ -381,12 +526,20 @@ Fuzzer::run()
               return drained == tenants && _pendingControl == 0;
           },
           sim::seconds(40));
+    drain("migration drain",
+          [this] { return _bed->controller().migration().idle(); },
+          sim::seconds(40));
     finalSweep();
 
     // Whole-structure checks after the dust settles.
     for (int s = 0; s < _bed->ssdCount(); ++s)
         BMS_ASSERT_EQ(_bed->engine().adaptor(s).inflight(), 0u,
                       "adaptor ", s, " left with in-flight commands");
+    core::MigrationGate &gate = _bed->engine().migrationGate();
+    BMS_ASSERT(!gate.migrationActive(),
+               "migration window left open after drain");
+    BMS_ASSERT_EQ(gate.heldCount(), std::size_t(0),
+                  "held writes left behind after drain");
     for (Tenant &t : _tenants) {
         core::NsBinding *b = _bed->engine().findBinding(t.fn, 1);
         BMS_ASSERT(b, "tenant binding vanished: fn=", t.fn);
@@ -409,6 +562,13 @@ Fuzzer::run()
     rep.upgradeRejections =
         _bed->controller().hotUpgrade().upgradesRejected();
     rep.faultWindows = _faultWindows;
+    const core::MigrationManager &mig = _bed->controller().migration();
+    rep.migrationsStarted = mig.started();
+    rep.migrationsCompleted = mig.completed();
+    rep.migrationsAborted = mig.aborted();
+    rep.migrationsRejected = mig.rejected();
+    rep.evacuations = mig.evacuations();
+    rep.migratedBytes = mig.bytesCopied();
     for (int s = 0; s < _bed->ssdCount(); ++s) {
         rep.injectedMediaErrors += _bed->ssd(s).mediaErrors();
         rep.injectedLatencySpikes += _bed->ssd(s).latencySpikes();

@@ -41,12 +41,18 @@ struct FuzzConfig
     sim::Tick horizon = sim::milliseconds(120);
     int maxTenants = 3; ///< 1..4 (front-end PFs)
     int maxSsds = 2;
+    int minSsds = 1; ///< raise to 2 to guarantee migration targets
     bool enableFaults = true;
     bool enableControlOps = true;
     bool enableHotUpgrade = true;
     /** Always schedule exactly one slot-0 upgrade (availability
      *  tests want the hiccup deterministically present). */
     bool forceUpgrade = false;
+    /** Mid-I/O chunk migrations/evacuations (needs >= 2 SSDs; also
+     *  shrinks chunks to 8-32 MiB so copies fit the horizon). */
+    bool enableMigration = true;
+    /** Always schedule a migrate + an evacuate (pinned seeds). */
+    bool forceMigration = false;
     std::size_t opLogCapacity = 256;
 };
 
@@ -65,6 +71,12 @@ struct FuzzReport
     int faultWindows = 0;
     std::uint64_t injectedMediaErrors = 0;
     std::uint64_t injectedLatencySpikes = 0;
+    std::uint32_t migrationsStarted = 0;
+    std::uint32_t migrationsCompleted = 0;
+    std::uint32_t migrationsAborted = 0;
+    std::uint32_t migrationsRejected = 0;
+    std::uint32_t evacuations = 0;
+    std::uint64_t migratedBytes = 0;
     /** Longest tenant submit→complete span (upgrade pause shows up
      *  here; must stay under the 30 s host NVMe timeout). */
     sim::Tick maxCompletionGap = 0;
@@ -93,7 +105,10 @@ class Fuzzer
     void buildTenants(sim::Rng &rng);
     void scheduleControlOps(sim::Rng &rng);
     void scheduleUpgrades(sim::Rng &rng);
+    void scheduleMigrations(sim::Rng &rng);
     void scheduleFaultWindows(sim::Rng &rng);
+    void destroyScratch(core::Eid eid, std::uint8_t vf,
+                        std::uint32_t nsid, int attempt);
     void drain(const char *stage, const std::function<bool()> &done,
                sim::Tick timeout);
     void finalSweep();

@@ -82,7 +82,11 @@ BmStoreTestbed::BmStoreTestbed(const TestbedConfig &cfg) : TestbedBase(cfg)
     _engine = _sim->make<core::BmsEngine>(*_sim, "bms", ecfg);
     _engineSlot = &_host->addSlot(16);
     _engineSlot->attach(*_engine);
-    _controller = _sim->make<core::BmsController>(*_sim, "bmsc", *_engine);
+    core::BmsControllerConfig ccfg = cfg.ctrl;
+    if (cfg.chunkBytes > 0)
+        ccfg.mapGeometry.chunkBlocks = cfg.chunkBytes / nvme::kBlockSize;
+    _controller =
+        _sim->make<core::BmsController>(*_sim, "bmsc", *_engine, ccfg);
     _channel = _sim->make<core::MctpChannel>(*_sim, "mctp-vdm");
     _channel->bind(_controller->endpoint());
     _console = _sim->make<core::MgmtConsole>(*_sim, "console");

@@ -43,6 +43,14 @@ struct TestbedConfig
      */
     std::vector<ssd::SsdDevice::Config> ssdOverrides;
     core::EngineConfig engine;
+    /** BMS-Controller config (BmStoreTestbed only). */
+    core::BmsControllerConfig ctrl;
+    /**
+     * Chunk size override in bytes (BmStoreTestbed only; 0 keeps the
+     * geometry in `ctrl`). Tests and the fuzzer shrink chunks so a
+     * migration's copy phase fits the simulated horizon.
+     */
+    std::uint64_t chunkBytes = 0;
     /** Driver shape used by attach helpers. */
     std::uint16_t ioQueues = 4;
     std::uint16_t queueDepth = 1024;

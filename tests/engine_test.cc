@@ -189,6 +189,111 @@ TEST(BmsEngine, UnboundNamespaceRejected)
         doIo(bed, disk, host::BlockRequest::Op::Read, 0, 4096, 0));
 }
 
+// Migration cutover seen from the engine: with source and destination
+// chunks byte-identical, flipping the live LbaMapTable entry while a
+// tenant read is in flight is invisible to the tenant, and writes
+// issued after the flip land physically on the new SSD.
+TEST(BmsEngine, LiveRemapIsTransparentToInFlightIo)
+{
+    harness::BmStoreTestbed bed(bmsConfig(2));
+    host::NvmeDriver &disk = bed.attachTenant(0, sim::gib(128));
+    auto &mem = bed.host().memory();
+
+    constexpr std::uint32_t kLen = 64 * 1024;
+    auto data = pattern(kLen, 0x5A);
+    std::uint64_t wbuf = mem.alloc(kLen);
+    mem.write(wbuf, kLen, data.data());
+    ASSERT_TRUE(
+        doIo(bed, disk, host::BlockRequest::Op::Write, 0, kLen, wbuf));
+
+    core::NsBinding *b = bed.engine().findBinding(0, 1);
+    ASSERT_NE(b, nullptr);
+    auto src = b->map.translate(0);
+    ASSERT_TRUE(src.has_value());
+    std::uint64_t chunk_blocks = b->map.geometry().chunkBlocks;
+
+    // Copy the written prefix to a free chunk on the other SSD (the
+    // copy MigrationManager performs through the data path).
+    int dst_ssd = src->ssdId == 0 ? 1 : 0;
+    std::uint64_t dst_base = 1; // chunk 0 of each SSD is in use
+    std::vector<std::uint8_t> seg(kLen);
+    bed.ssd(src->ssdId)
+        .flash()
+        .read(src->physLba * nvme::kBlockSize, kLen, seg.data());
+    bed.ssd(dst_ssd).flash().write(
+        dst_base * chunk_blocks * nvme::kBlockSize, kLen, seg.data());
+
+    // Flip the mapping while a tenant read is in flight.
+    bool done = false, ok = false;
+    host::BlockRequest req;
+    req.op = host::BlockRequest::Op::Read;
+    req.offset = 0;
+    req.len = kLen;
+    req.dataAddr = mem.alloc(kLen);
+    std::uint64_t rbuf = req.dataAddr;
+    req.done = [&](bool o) {
+        ok = o;
+        done = true;
+    };
+    disk.submit(std::move(req));
+    ASSERT_TRUE(b->map.setEntry(0, 0, dst_base,
+                                static_cast<std::uint8_t>(dst_ssd)));
+    ASSERT_TRUE(test::runUntil(bed.sim(), [&] { return done; }));
+    EXPECT_TRUE(ok);
+    std::vector<std::uint8_t> got(kLen);
+    mem.read(rbuf, kLen, got.data());
+    EXPECT_EQ(got, data);
+
+    // Post-flip writes route to the destination SSD's flash...
+    auto data2 = pattern(4096, 0xC3);
+    mem.write(wbuf, 4096, data2.data());
+    ASSERT_TRUE(
+        doIo(bed, disk, host::BlockRequest::Op::Write, 0, 4096, wbuf));
+    std::vector<std::uint8_t> phys(4096);
+    bed.ssd(dst_ssd).flash().read(
+        dst_base * chunk_blocks * nvme::kBlockSize, 4096, phys.data());
+    EXPECT_EQ(phys, data2);
+    // ...while the abandoned source copy keeps its stale bytes.
+    bed.ssd(src->ssdId)
+        .flash()
+        .read(src->physLba * nvme::kBlockSize, 4096, phys.data());
+    EXPECT_TRUE(std::equal(phys.begin(), phys.end(), data.begin()));
+
+    // Reads keep verifying end to end after cutover.
+    ASSERT_TRUE(
+        doIo(bed, disk, host::BlockRequest::Op::Read, 0, 4096, rbuf));
+    std::vector<std::uint8_t> got2(4096);
+    mem.read(rbuf, 4096, got2.data());
+    EXPECT_EQ(got2, data2);
+}
+
+// A bounds-rejected remap (a buggy cutover computing chunk base 64 or
+// SSD 4) must leave tenant I/O serving from the original placement.
+TEST(BmsEngine, RejectedRemapKeepsServingFromOldPlacement)
+{
+    harness::BmStoreTestbed bed(bmsConfig(1));
+    host::NvmeDriver &disk = bed.attachTenant(0, sim::gib(64));
+    auto &mem = bed.host().memory();
+
+    auto data = pattern(4096, 0x9D);
+    std::uint64_t buf = mem.alloc(4096);
+    mem.write(buf, 4096, data.data());
+    ASSERT_TRUE(
+        doIo(bed, disk, host::BlockRequest::Op::Write, 0, 4096, buf));
+
+    core::NsBinding *b = bed.engine().findBinding(0, 1);
+    ASSERT_NE(b, nullptr);
+    EXPECT_FALSE(b->map.setEntry(0, 0, 64, 0)); // 6-bit base overflow
+    EXPECT_FALSE(b->map.setEntry(0, 0, 0, 4));  // 2-bit ssd overflow
+
+    std::uint64_t rbuf = mem.alloc(4096);
+    ASSERT_TRUE(
+        doIo(bed, disk, host::BlockRequest::Op::Read, 0, 4096, rbuf));
+    std::vector<std::uint8_t> got(4096);
+    mem.read(rbuf, 4096, got.data());
+    EXPECT_EQ(got, data);
+}
+
 TEST(BmsEngine, TenantsAreIsolated)
 {
     harness::BmStoreTestbed bed(bmsConfig(2));

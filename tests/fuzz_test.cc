@@ -49,6 +49,31 @@ TEST(Fuzz, FixedSeedsPassTheOracle)
     }
 }
 
+// Pinned migration seeds: >= 2 SSDs, a guaranteed migrate + evacuate
+// + status ops, and a fault window pinned over the first migration so
+// both copy legs see injected errors. The oracle verifies every
+// tenant read across the cutover.
+TEST(Fuzz, MigrationSeedsPassTheOracle)
+{
+    for (std::uint64_t seed = 201; seed <= 204; ++seed) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        fuzz::FuzzConfig cfg;
+        cfg.seed = seed;
+        cfg.horizon = sim::milliseconds(30);
+        cfg.minSsds = 2;
+        cfg.forceMigration = true;
+        fuzz::Fuzzer fuzzer(cfg);
+        fuzz::FuzzReport r = fuzzer.run();
+        EXPECT_GT(r.totalOps, 100u);
+        EXPECT_GT(r.migrationsStarted, 0u);
+        EXPECT_EQ(r.migrationsStarted,
+                  r.migrationsCompleted + r.migrationsAborted);
+        EXPECT_GT(r.evacuations, 0u);
+        EXPECT_GT(r.migratedBytes, 0u);
+        EXPECT_LE(r.maxCompletionGap, sim::seconds(10));
+    }
+}
+
 // One seed is one interleaving: two runs of the same seed must agree
 // on every observable outcome (this is what makes `fuzz --seed=N` a
 // faithful repro of a CI failure).
@@ -67,7 +92,35 @@ TEST(Fuzz, IdenticalSeedsProduceIdenticalRuns)
     EXPECT_EQ(a.faultWindows, b.faultWindows);
     EXPECT_EQ(a.injectedMediaErrors, b.injectedMediaErrors);
     EXPECT_EQ(a.injectedLatencySpikes, b.injectedLatencySpikes);
+    EXPECT_EQ(a.migrationsStarted, b.migrationsStarted);
+    EXPECT_EQ(a.migrationsCompleted, b.migrationsCompleted);
+    EXPECT_EQ(a.migrationsAborted, b.migrationsAborted);
+    EXPECT_EQ(a.migrationsRejected, b.migrationsRejected);
+    EXPECT_EQ(a.evacuations, b.evacuations);
+    EXPECT_EQ(a.migratedBytes, b.migratedBytes);
     EXPECT_EQ(a.maxCompletionGap, b.maxCompletionGap);
+    EXPECT_EQ(a.finishedAt, b.finishedAt);
+}
+
+// Same for the migration-heavy mode.
+TEST(Fuzz, MigrationSeedsAreDeterministic)
+{
+    auto run = [] {
+        fuzz::FuzzConfig cfg;
+        cfg.seed = 203;
+        cfg.horizon = sim::milliseconds(30);
+        cfg.minSsds = 2;
+        cfg.forceMigration = true;
+        fuzz::Fuzzer fuzzer(cfg);
+        return fuzzer.run();
+    };
+    fuzz::FuzzReport a = run();
+    fuzz::FuzzReport b = run();
+    EXPECT_EQ(a.totalOps, b.totalOps);
+    EXPECT_EQ(a.verifiedBlocks, b.verifiedBlocks);
+    EXPECT_EQ(a.migrationsStarted, b.migrationsStarted);
+    EXPECT_EQ(a.migrationsCompleted, b.migrationsCompleted);
+    EXPECT_EQ(a.migratedBytes, b.migratedBytes);
     EXPECT_EQ(a.finishedAt, b.finishedAt);
 }
 

@@ -173,6 +173,81 @@ TEST(LbaMap, DoubleMappedChunkViolatesInvariant)
     EXPECT_PANIC(mt.setEntry(0, 1, 5, 1));
 }
 
+// Migration cutover is exactly one setEntry() on a live entry: every
+// translate before the call resolves to the source, every translate
+// after it to the destination — with no intermediate state.
+TEST(LbaMap, CutoverFlipIsAtomicPerTranslate)
+{
+    LbaMapGeometry g = smallGeom();
+    LbaMapTable mt(g);
+    ASSERT_TRUE(mt.setEntry(1, 2, /*chunk_base=*/7, /*ssd_id=*/0));
+    std::uint64_t host_lba = 10 * g.chunkBlocks + 123; // row 1, col 2
+    auto before = mt.translate(host_lba);
+    ASSERT_TRUE(before.has_value());
+    EXPECT_EQ(before->ssdId, 0);
+    EXPECT_EQ(before->physLba, 7 * g.chunkBlocks + 123);
+    // The flip: same namespace chunk, new physical home (other SSD).
+    ASSERT_TRUE(mt.setEntry(1, 2, /*chunk_base=*/42, /*ssd_id=*/3));
+    auto after = mt.translate(host_lba);
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(after->ssdId, 3);
+    EXPECT_EQ(after->physLba, 42 * g.chunkBlocks + 123);
+    mt.checkInvariants();
+}
+
+// A rejected remap must not mutate the entry: in-flight I/O keeps
+// translating onto the old (still valid) placement.
+TEST(LbaMap, RejectedRemapLeavesLiveEntryIntact)
+{
+    LbaMapGeometry g = smallGeom();
+    LbaMapTable mt(g);
+    ASSERT_TRUE(mt.setEntry(0, 1, 9, 2));
+    EXPECT_FALSE(mt.setEntry(0, 1, /*chunk_base=*/64, 2)); // 6-bit field
+    EXPECT_FALSE(mt.setEntry(0, 1, 9, /*ssd_id=*/4));      // 2-bit field
+    auto m = mt.translate(1 * g.chunkBlocks);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->ssdId, 2);
+    EXPECT_EQ(m->physLba / g.chunkBlocks, 9u);
+    EXPECT_EQ(mt.rawEntry(0, 1), (9 << 2) | 2);
+}
+
+// Field-edge remaps: the highest encodable placement (base 63 on
+// SSD 3) is legal in both directions.
+TEST(LbaMap, RemapAtFieldEdges)
+{
+    LbaMapGeometry g = smallGeom();
+    LbaMapTable mt(g);
+    ASSERT_TRUE(mt.setEntry(7, 7, 0, 0));
+    ASSERT_TRUE(mt.setEntry(7, 7, 63, 3));
+    EXPECT_EQ(mt.rawEntry(7, 7), (63 << 2) | 3);
+    auto m = mt.translate(63 * g.chunkBlocks + (g.chunkBlocks - 1));
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->ssdId, 3);
+    EXPECT_EQ(m->physLba, 63 * g.chunkBlocks + (g.chunkBlocks - 1));
+    ASSERT_TRUE(mt.setEntry(7, 7, 0, 0)); // and back down
+    EXPECT_EQ(mt.rawEntry(7, 7), 0);
+    mt.checkInvariants();
+}
+
+// Invalidating an entry mid-"migration" (e.g. namespace destroyed
+// between copy and cutover) makes the subsequent flip target an
+// invalid entry — setEntry on it is a fresh mapping, which is legal,
+// but translation in between must cleanly fail rather than resolve
+// to the stale source.
+TEST(LbaMap, InvalidateDuringRemapWindow)
+{
+    LbaMapGeometry g = smallGeom();
+    LbaMapTable mt(g);
+    ASSERT_TRUE(mt.setEntry(2, 0, 11, 1));
+    mt.invalidate(2, 0);
+    EXPECT_FALSE(mt.translate(16 * g.chunkBlocks).has_value());
+    ASSERT_TRUE(mt.setEntry(2, 0, 12, 2));
+    auto m = mt.translate(16 * g.chunkBlocks);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->ssdId, 2);
+    mt.checkInvariants();
+}
+
 TEST(LbaMap, ValidationVectorBitsBeyondRowWidthPanic)
 {
     LbaMapGeometry g = smallGeom();
