@@ -54,6 +54,17 @@ run_san() {
     echo "== ASan+UBSan fuzz (migration seeds) =="
     ./build-asan/fuzz --seeds=201:204 --horizon-ms=30 --min-ssds=2 \
         --force-migration || fail=1
+    # The pinned multi-VF seeds: up to 16 tenants riding VFs with
+    # randomized SQ counts, arbitration modes and QPRIO mixes.
+    echo "== ASan+UBSan fuzz (multi-VF seeds) =="
+    ./build-asan/fuzz --seeds=301:304 --horizon-ms=20 \
+        --max-tenants=16 || fail=1
+    # Quick-mode full-card sweep: catches lane-sharding perf
+    # regressions via the events/sec floor (set low — ASan costs
+    # roughly an order of magnitude of simulator speed).
+    echo "== ASan+UBSan ext_full_card (quick) =="
+    ./build-asan/bench/ext_full_card --quick --events-floor=20000 \
+        --wall-limit-s=300 || fail=1
 }
 
 case "${mode}" in

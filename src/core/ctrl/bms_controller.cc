@@ -162,6 +162,13 @@ BmsController::dispatch(Eid src, const MiMessage &req)
         w.f64(s.writeIops);
         w.f64(s.readMbps);
         w.f64(s.writeMbps);
+        // Multi-queue arbitration state (paper §IV-E fan-out).
+        w.u16(s.activeSqs);
+        w.u32(s.maxSqBacklog);
+        w.u64(s.arbRounds);
+        w.u64(s.fetchBatches);
+        w.u64(s.fetchedSqes);
+        w.u64(s.doorbellsCoalesced);
         auto occ = _nsMgr.occupancy();
         std::uint64_t chunk_bytes =
             _nsMgr.chunkBlocks() * nvme::kBlockSize;

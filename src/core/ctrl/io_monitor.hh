@@ -32,6 +32,15 @@ class IoMonitor : public sim::SimObject
         double writeIops = 0.0;
         double readMbps = 0.0;
         double writeMbps = 0.0;
+        /** @name Multi-queue / arbitration state (paper §IV-E). */
+        /// @{
+        std::uint16_t activeSqs = 0;     ///< valid IO SQs right now
+        std::uint32_t maxSqBacklog = 0;  ///< deepest un-fetched SQ depth
+        std::uint64_t arbRounds = 0;     ///< arbitration passes
+        std::uint64_t fetchBatches = 0;  ///< coalesced SQE fetch DMAs
+        std::uint64_t fetchedSqes = 0;   ///< SQEs through the arbiter
+        std::uint64_t doorbellsCoalesced = 0; ///< rings batched away
+        /// @}
     };
 
     /** One back-end slot's adaptor counters + derived rates. */
@@ -113,6 +122,12 @@ class IoMonitor : public sim::SimObject
             s.writeOps = raw.writeOps;
             s.readBytes = raw.readBytes;
             s.writeBytes = raw.writeBytes;
+            s.activeSqs = ctrl.ioSqCount();
+            s.maxSqBacklog = ctrl.maxSqBacklog();
+            s.arbRounds = ctrl.arbRounds();
+            s.fetchBatches = ctrl.fetchBatches();
+            s.fetchedSqes = ctrl.fetchedSqes();
+            s.doorbellsCoalesced = ctrl.doorbellsCoalesced();
             if (_samples > 0 && period_sec > 0.0) {
                 s.readIops = static_cast<double>(raw.readOps -
                                                  _last[i].readOps) /

@@ -18,12 +18,22 @@ BmsEngine::BmsEngine(sim::Simulator &sim, std::string name,
         fc.fn = static_cast<pcie::FunctionId>(i);
         fc.cmdProcDelay = _cfg.frontPipelineDelay;
         fc.model = "BM-Store virtual NVMe";
+        fc.arb = _cfg.frontArb;
+        fc.arbBurst = _cfg.frontArbBurst;
+        fc.wrrWeightHigh = _cfg.frontWrrWeightHigh;
+        fc.wrrWeightMedium = _cfg.frontWrrWeightMedium;
+        fc.wrrWeightLow = _cfg.frontWrrWeightLow;
+        fc.doorbellBatchDelay = _cfg.frontDoorbellBatch;
+        fc.maxIoQueues = _cfg.frontMaxIoQueues;
         bool is_pf = i < _cfg.pfCount;
         _functions.push_back(std::make_unique<FrontFunction>(
             sim, name + (is_pf ? ".pf" : ".vf") + std::to_string(i), fc,
             is_pf,
             [this](FrontFunction &fn, const nvme::Sqe &sqe,
                    std::uint16_t sqid) { handleFrontIo(fn, sqe, sqid); }));
+        // Each virtual controller runs on its own event lane so the
+        // 128-function fan-out keeps per-lane heaps small.
+        _functions.back()->setEventLane(sim.createLane());
     }
     // The production board exposes two x8 back-end interfaces; every
     // pair of SSD slots shares one (paper §IV-E).
@@ -39,6 +49,9 @@ BmsEngine::BmsEngine(sim::Simulator &sim, std::string name,
             sim, name + ".adaptor" + std::to_string(s),
             static_cast<std::uint8_t>(s), _chip, _cfg, &_dramBusy,
             _ifaceLinks[static_cast<std::size_t>(s / 2)].get()));
+        // One event lane per SSD slot: back-end queueing/completion
+        // traffic stays out of the front-function heaps.
+        _adaptors.back()->setEventLane(sim.createLane());
     }
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "nvme/controller.hh"
 #include "sim/types.hh"
 
 namespace bms::core {
@@ -52,6 +53,30 @@ struct EngineConfig
 
     /** Back-end queue depth per SSD. */
     std::uint16_t backendQueueDepth = 1024;
+
+    /**
+     * Front-end SQ fetch arbitration across each function's IO SQs
+     * (paper §IV-E: the engine exposes full multi-queue virtual
+     * controllers). RoundRobin is the hardware default; the back-end
+     * SSD controllers keep their own (Immediate) config.
+     */
+    nvme::ArbitrationMode frontArb = nvme::ArbitrationMode::RoundRobin;
+
+    /** SQEs fetched from one SQ per arbitration service. */
+    std::uint8_t frontArbBurst = 8;
+
+    /** @name Front-end WRR class weights (services per round). */
+    /// @{
+    std::uint8_t frontWrrWeightHigh = 4;
+    std::uint8_t frontWrrWeightMedium = 2;
+    std::uint8_t frontWrrWeightLow = 1;
+    /// @}
+
+    /** Doorbell batching window for front functions (0 = same-tick). */
+    sim::Tick frontDoorbellBatch = 0;
+
+    /** IO queue pairs each front function advertises. */
+    std::uint16_t frontMaxIoQueues = 64;
 
     int totalFunctions() const { return pfCount + vfCount; }
 };

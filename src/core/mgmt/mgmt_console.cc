@@ -152,6 +152,12 @@ MgmtConsole::ioStats(Eid ctrl, std::uint8_t fn,
                 s.writeIops = r.f64();
                 s.readMbps = r.f64();
                 s.writeMbps = r.f64();
+                s.activeSqs = r.u16();
+                s.maxSqBacklog = r.u32();
+                s.arbRounds = r.u64();
+                s.fetchBatches = r.u64();
+                s.fetchedSqes = r.u64();
+                s.doorbellsCoalesced = r.u64();
                 std::uint8_t slots = r.u8();
                 for (std::uint8_t i = 0; i < slots && r.ok(); ++i) {
                     MiDfEntry e;

@@ -132,6 +132,15 @@ struct MiIoStats
     double writeIops = 0.0;
     double readMbps = 0.0;
     double writeMbps = 0.0;
+    /** @name Multi-queue arbitration state of the function. */
+    /// @{
+    std::uint16_t activeSqs = 0;
+    std::uint32_t maxSqBacklog = 0;
+    std::uint64_t arbRounds = 0;
+    std::uint64_t fetchBatches = 0;
+    std::uint64_t fetchedSqes = 0;
+    std::uint64_t doorbellsCoalesced = 0;
+    /// @}
     /** Per-SSD occupancy appended by controllers that track it. */
     std::vector<MiDfEntry> slots;
 };

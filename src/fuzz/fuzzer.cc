@@ -12,8 +12,9 @@ namespace bms::fuzz {
 
 Fuzzer::Fuzzer(FuzzConfig cfg) : _cfg(cfg), _log(cfg.opLogCapacity)
 {
-    BMS_ASSERT(_cfg.maxTenants >= 1 && _cfg.maxTenants <= 4,
-               "tenants ride on front-end PFs (4 of them): ",
+    BMS_ASSERT(_cfg.maxTenants >= 1 && _cfg.maxTenants <= 16,
+               "tenants ride on front-end functions (4 PFs + VFs; the "
+               "fuzzer caps multi-VF runs at 16): ",
                _cfg.maxTenants);
     BMS_ASSERT(_cfg.maxSsds >= 1 && _cfg.maxSsds <= 4,
                "back end has 4 SSD slots: ", _cfg.maxSsds);
@@ -494,6 +495,29 @@ Fuzzer::run()
     tb.ssd.functionalData = true;
     // Occasionally run the store-and-forward ablation datapath.
     tb.engine.zeroCopy = !rng.chance(0.2);
+    // Multi-queue front end: vary SQ count per tenant, the arbiter,
+    // its burst, and the doorbell-batching window so fuzz runs cover
+    // the RR/WRR fetch paths as well as fetch coalescing. Drawn from
+    // a forked stream so the pre-existing pinned seeds (1-8,
+    // 201-204) keep their exact topology and schedule draws.
+    sim::Rng mq_rng(_cfg.seed ^ 0x9e37'79b9'7f4aULL);
+    tb.ioQueues = static_cast<std::uint16_t>(1 << mq_rng.uniformInt(0, 3));
+    tb.engine.frontArb = mq_rng.chance(0.5)
+                             ? nvme::ArbitrationMode::RoundRobin
+                             : nvme::ArbitrationMode::WeightedRoundRobin;
+    tb.engine.frontArbBurst =
+        static_cast<std::uint8_t>(1 << mq_rng.uniformInt(0, 3));
+    if (mq_rng.chance(0.5))
+        tb.engine.frontDoorbellBatch =
+            sim::nanoseconds(100 << mq_rng.uniformInt(0, 2));
+    if (tb.engine.frontArb == nvme::ArbitrationMode::WeightedRoundRobin) {
+        // Mixed-priority queues; urgent stays rare so the weighted
+        // classes actually get serviced.
+        tb.sqPriorities = {nvme::kQPrioHigh, nvme::kQPrioMedium,
+                           nvme::kQPrioLow};
+        if (mq_rng.chance(0.25))
+            tb.sqPriorities.push_back(nvme::kQPrioUrgent);
+    }
     // Migration runs shrink chunks (8/16/32 MiB instead of 64 GiB) so
     // a whole-chunk copy fits inside the simulated horizon.
     if (_cfg.enableMigration)

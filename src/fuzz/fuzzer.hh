@@ -39,7 +39,7 @@ struct FuzzConfig
     std::uint64_t seed = 1;
     /** Measured torture window (control ops land inside it). */
     sim::Tick horizon = sim::milliseconds(120);
-    int maxTenants = 3; ///< 1..4 (front-end PFs)
+    int maxTenants = 3; ///< 1..16 (4 PFs, then VFs — multi-VF runs)
     int maxSsds = 2;
     int minSsds = 1; ///< raise to 2 to guarantee migration targets
     bool enableFaults = true;

@@ -117,6 +117,8 @@ BmStoreTestbed::BmStoreTestbed(const TestbedConfig &cfg) : TestbedBase(cfg)
     for (int i = 0; i < cfg.ssdCount; ++i) {
         auto *ssd = _sim->make<ssd::SsdDevice>(
             *_sim, "bssd" + std::to_string(i), cfg.ssdConfig(i));
+        // Media/controller events for each SSD get a private lane.
+        ssd->setEventLane(_sim->createLane());
         _ssds.push_back(ssd);
         _controller->attachBackendSsd(i, *ssd, [&ready] { ++ready; });
     }
@@ -137,11 +139,14 @@ BmStoreTestbed::attachTenant(pcie::FunctionId fn, std::uint64_t bytes,
     dc.ioQueues = _cfg.ioQueues;
     dc.queueDepth = _cfg.queueDepth;
     dc.nsid = *nsid;
+    dc.sqPriorities = _cfg.sqPriorities;
     dc.profile = vm ? vm->profile() : _cfg.host.profile;
     host::CpuSet &cpus = vm ? vm->vcpus() : _host->cpus();
     auto *drv = _sim->make<host::NvmeDriver>(
         *_sim, "tenant.fn" + std::to_string(fn), _host->memory(),
         _host->irq(), *_engineSlot, cpus, fn, dc);
+    // Tenant drivers are per-function hot paths: private event lane.
+    drv->setEventLane(_sim->createLane());
     bool ready = false;
     drv->init([&ready] { ready = true; });
     runUntilTrue([&ready] { return ready; });

@@ -54,6 +54,8 @@ struct TestbedConfig
     /** Driver shape used by attach helpers. */
     std::uint16_t ioQueues = 4;
     std::uint16_t queueDepth = 1024;
+    /** Per-queue QPRIO cycle for tenant drivers (empty = medium). */
+    std::vector<std::uint8_t> sqPriorities;
     /**
      * NativeTestbed: bind a host kernel driver to each disk. Set
      * false for VFIO experiments — passthrough requires the device

@@ -163,7 +163,12 @@ NvmeDriver::createIoQueue(std::uint16_t qid, std::function<void()> then)
         csq.opcode = static_cast<std::uint8_t>(AdminOpcode::CreateIoSq);
         csq.prp1 = q.sqBase;
         csq.cdw10 = (static_cast<std::uint32_t>(q.depth - 1) << 16) | qid;
-        csq.cdw11 = (static_cast<std::uint32_t>(qid) << 16) | 0x1; // PC
+        std::uint8_t prio = _cfg.sqPriority;
+        if (!_cfg.sqPriorities.empty())
+            prio = _cfg.sqPriorities[(qid - 1) % _cfg.sqPriorities.size()];
+        // PC | QPRIO in bits 2:1 | CQID in the high half.
+        csq.cdw11 = (static_cast<std::uint32_t>(qid) << 16) |
+                    (static_cast<std::uint32_t>(prio & 0x3) << 1) | 0x1;
         adminCommand(csq, [then](const Cqe &c2) {
             BMS_ASSERT(c2.ok(), "CreateIoSq failed");
             then();

@@ -41,6 +41,13 @@ class NvmeDriver : public sim::SimObject, public BlockDeviceIf
         std::uint16_t queueDepth = 1024;
         std::uint32_t maxIoBytes = 2 * 1024 * 1024;
         std::uint32_t nsid = 1;
+        /** QPRIO requested for every IO SQ (WRR class; see nvme). */
+        std::uint8_t sqPriority = nvme::kQPrioMedium;
+        /**
+         * Optional per-queue QPRIO override: IO queue i uses
+         * sqPriorities[i % size()]. Empty = all sqPriority.
+         */
+        std::vector<std::uint8_t> sqPriorities;
         PlatformProfile profile;
     };
 

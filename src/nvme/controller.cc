@@ -18,6 +18,43 @@ ControllerModel::ControllerModel(sim::Simulator &sim, std::string name,
     registerStat("readBytes", [this] { return double(_readBytes); });
     registerStat("writeBytes", [this] { return double(_writeBytes); });
     registerStat("inflight", [this] { return double(_inflight); });
+    registerStat("arbRounds", [this] { return double(_arbRounds); });
+    registerStat("fetchBatches", [this] { return double(_fetchBatches); });
+    registerStat("fetchedSqes", [this] { return double(_fetchedSqes); });
+}
+
+std::uint16_t
+ControllerModel::ioSqCount() const
+{
+    std::uint16_t n = 0;
+    for (std::size_t qid = 1; qid < _sqs.size(); ++qid)
+        if (_sqs[qid].valid)
+            ++n;
+    return n;
+}
+
+ControllerModel::SqSnapshot
+ControllerModel::sqSnapshot(std::uint16_t sqid) const
+{
+    SqSnapshot s;
+    if (sqid >= _sqs.size())
+        return s;
+    const SubQueue &sq = _sqs[sqid];
+    s.valid = sq.valid;
+    s.prio = sq.prio;
+    s.backlog = sq.backlog();
+    s.maxBacklog = sq.maxBacklog;
+    s.fetched = sq.fetched;
+    return s;
+}
+
+std::uint32_t
+ControllerModel::maxSqBacklog() const
+{
+    std::uint32_t deepest = 0;
+    for (std::size_t qid = 1; qid < _sqs.size(); ++qid)
+        deepest = std::max(deepest, _sqs[qid].maxBacklog);
+    return deepest;
 }
 
 void
@@ -131,6 +168,9 @@ ControllerModel::disable()
     for (auto &cq : _cqs)
         cq = ComplQueue{};
     _inflight = 0;
+    _rrCursor = 1;
+    for (auto &c : _wrrCursor)
+        c = 1;
     onDisabled();
 }
 
@@ -144,7 +184,15 @@ ControllerModel::doorbell(const DoorbellRef &ref, std::uint64_t value)
         if (!sq.valid)
             return;
         sq.tail = static_cast<std::uint16_t>(value % sq.size);
-        pump(ref.qid);
+        sq.maxBacklog = std::max(sq.maxBacklog, sq.backlog());
+        // Admin commands are strict-priority in every mode; IO SQs go
+        // through the configured arbiter.
+        if (ref.qid == 0 || _cfg.arb == ArbitrationMode::Immediate) {
+            pump(ref.qid);
+        } else {
+            ++_sqDoorbells;
+            signalArbitration();
+        }
     } else {
         auto &cq = _cqs[ref.qid];
         if (!cq.valid)
@@ -186,9 +234,124 @@ ControllerModel::resumeFetch()
     if (!_fetchPaused)
         return;
     _fetchPaused = false;
-    for (std::uint16_t qid = 0; qid < _sqs.size(); ++qid)
-        if (_sqs[qid].valid)
-            pump(qid);
+    if (_cfg.arb == ArbitrationMode::Immediate) {
+        for (std::uint16_t qid = 0; qid < _sqs.size(); ++qid)
+            if (_sqs[qid].valid)
+                pump(qid);
+        return;
+    }
+    if (_sqs[0].valid)
+        pump(0); // admin drains immediately in every mode
+    signalArbitration();
+}
+
+void
+ControllerModel::signalArbitration()
+{
+    if (_arbScheduled) {
+        ++_doorbellsCoalesced;
+        return;
+    }
+    if (!_enabled || _fetchPaused)
+        return; // resumeFetch()/enable() re-signals
+    _arbScheduled = true;
+    schedule(_cfg.doorbellBatchDelay, [this] {
+        _arbScheduled = false;
+        arbitrate();
+    });
+}
+
+void
+ControllerModel::arbitrate()
+{
+    if (!_enabled || _fetchPaused)
+        return;
+    ++_arbRounds;
+    if (_cfg.arb == ArbitrationMode::RoundRobin) {
+        // One grand round: every backlogged IO SQ gets one burst.
+        serviceRound(kPrioAny,
+                     static_cast<std::uint32_t>(_sqs.size() - 1),
+                     &_rrCursor);
+    } else {
+        // Urgent is strict-priority: drain it before the weighted
+        // classes see any service at all.
+        serviceRound(kQPrioUrgent, ~0u, &_wrrCursor[kQPrioUrgent]);
+        serviceRound(kQPrioHigh, _cfg.wrrWeightHigh,
+                     &_wrrCursor[kQPrioHigh]);
+        serviceRound(kQPrioMedium, _cfg.wrrWeightMedium,
+                     &_wrrCursor[kQPrioMedium]);
+        serviceRound(kQPrioLow, _cfg.wrrWeightLow,
+                     &_wrrCursor[kQPrioLow]);
+    }
+    for (std::size_t qid = 1; qid < _sqs.size(); ++qid) {
+        if (_sqs[qid].valid && _sqs[qid].backlog() != 0) {
+            signalArbitration(); // leftover backlog: re-arm the pass
+            break;
+        }
+    }
+}
+
+std::uint32_t
+ControllerModel::serviceRound(std::uint8_t prio, std::uint32_t credits,
+                              std::uint16_t *cursor)
+{
+    const auto n = static_cast<std::uint16_t>(_sqs.size() - 1);
+    if (n == 0 || credits == 0)
+        return 0;
+    std::uint32_t services = 0;
+    std::uint16_t qid = *cursor;
+    if (qid == 0 || qid > n)
+        qid = 1;
+    std::uint16_t idle = 0; // consecutive queues without backlog
+    while (credits > 0 && idle < n) {
+        SubQueue &sq = _sqs[qid];
+        if (sq.valid && sq.backlog() != 0 &&
+            (prio == kPrioAny || sq.prio == prio)) {
+            fetchBurst(qid, _cfg.arbBurst);
+            --credits;
+            ++services;
+            idle = 0;
+        } else {
+            ++idle;
+        }
+        qid = (qid == n) ? std::uint16_t{1}
+                         : static_cast<std::uint16_t>(qid + 1);
+    }
+    *cursor = qid;
+    return services;
+}
+
+void
+ControllerModel::fetchBurst(std::uint16_t sqid, std::uint32_t maxN)
+{
+    SubQueue &sq = _sqs[sqid];
+    std::uint32_t n = std::min(
+        {sq.backlog(), maxN,
+         static_cast<std::uint32_t>(sq.size - sq.head)});
+    if (n == 0)
+        return;
+    std::uint64_t addr =
+        sq.base + static_cast<std::uint64_t>(sq.head) * sizeof(Sqe);
+    sq.head = static_cast<std::uint16_t>((sq.head + n) % sq.size);
+    sq.fetched += n;
+    ++_fetchBatches;
+    _fetchedSqes += n;
+    auto buf =
+        std::make_shared<std::vector<std::uint8_t>>(n * sizeof(Sqe));
+    _up->dmaRead(addr, n * sizeof(Sqe), buf->data(),
+                 [this, buf, sqid, n] {
+        // One completion delivers the whole burst in ring order; the
+        // event queue's same-tick FIFO keeps intra-SQ order intact.
+        for (std::uint32_t i = 0; i < n; ++i) {
+            Sqe sqe = fromBytes<Sqe>(buf->data() + i * sizeof(Sqe));
+            if (_cfg.cmdProcDelay == 0) {
+                dispatch(sqe, sqid);
+            } else {
+                schedule(_cfg.cmdProcDelay,
+                         [this, sqe, sqid] { dispatch(sqe, sqid); });
+            }
+        }
+    });
 }
 
 void
@@ -248,11 +411,13 @@ ControllerModel::adminBuiltin(const Sqe &sqe)
             return;
         }
         auto &sq = _sqs[qid];
+        sq = SubQueue{};
         sq.valid = true;
         sq.base = sqe.prp1;
         sq.size = qsize;
         sq.head = sq.tail = 0;
         sq.cqid = cqid;
+        sq.prio = static_cast<std::uint8_t>((sqe.cdw11 >> 1) & 0x3);
         complete(0, sqe.cid, Status::Success);
         return;
       }

@@ -25,6 +25,20 @@
 
 namespace bms::nvme {
 
+/** How a controller picks the next SQ to fetch from. */
+enum class ArbitrationMode : std::uint8_t
+{
+    /** Legacy: drain each SQ fully as its doorbell rings. */
+    Immediate,
+    /** NVMe round-robin: equal bursts across all IO SQs. */
+    RoundRobin,
+    /**
+     * NVMe weighted round-robin: urgent class is strict-priority,
+     * high/medium/low receive bursts proportional to their weights.
+     */
+    WeightedRoundRobin,
+};
+
 /** Static description of one namespace as exposed by a controller. */
 struct NamespaceInfo
 {
@@ -52,6 +66,23 @@ class ControllerModel : public sim::SimObject
         sim::Tick cmdProcDelay = 0;
         /** Serial/model identity reported by Identify Controller. */
         std::string model = "BMS-SIM-CTRL";
+        /** SQ fetch arbitration (admin SQ is always strict-priority). */
+        ArbitrationMode arb = ArbitrationMode::Immediate;
+        /** Max SQEs fetched from one SQ per arbitration service. */
+        std::uint8_t arbBurst = 4;
+        /** @name WRR class weights (services per grand round). */
+        /// @{
+        std::uint8_t wrrWeightHigh = 4;
+        std::uint8_t wrrWeightMedium = 2;
+        std::uint8_t wrrWeightLow = 1;
+        /// @}
+        /**
+         * Doorbell batching window: SQ doorbells rung within this
+         * many ticks of a pending arbitration pass coalesce into it
+         * instead of triggering their own fetch. 0 still coalesces
+         * same-tick rings (the pass runs as a separate event).
+         */
+        sim::Tick doorbellBatchDelay = 0;
     };
 
     ControllerModel(sim::Simulator &sim, std::string name, Config cfg);
@@ -101,6 +132,36 @@ class ControllerModel : public sim::SimObject
     std::uint64_t writeBytes() const { return _writeBytes; }
     /// @}
 
+    /** Snapshot of one submission queue for monitoring and tests. */
+    struct SqSnapshot
+    {
+        bool valid = false;
+        std::uint8_t prio = kQPrioMedium;
+        std::uint32_t backlog = 0;    ///< SQEs rung but not yet fetched
+        std::uint32_t maxBacklog = 0; ///< high-water mark of backlog
+        std::uint64_t fetched = 0;    ///< SQEs fetched since creation
+    };
+
+    /** @name Arbitration / multi-queue accounting. */
+    /// @{
+    /** Number of valid IO submission queues (excludes admin). */
+    std::uint16_t ioSqCount() const;
+    /** Per-SQ snapshot; @p sqid may be any qid < 1 + maxIoQueues. */
+    SqSnapshot sqSnapshot(std::uint16_t sqid) const;
+    /** Deepest un-fetched backlog any IO SQ ever reached. */
+    std::uint32_t maxSqBacklog() const;
+    /** Arbitration passes executed. */
+    std::uint64_t arbRounds() const { return _arbRounds; }
+    /** SQ doorbell rings observed (arbitrated modes only). */
+    std::uint64_t sqDoorbells() const { return _sqDoorbells; }
+    /** Rings absorbed by an already-pending arbitration pass. */
+    std::uint64_t doorbellsCoalesced() const { return _doorbellsCoalesced; }
+    /** Coalesced SQE fetch DMAs issued. */
+    std::uint64_t fetchBatches() const { return _fetchBatches; }
+    /** Total SQEs fetched through the arbitrated path. */
+    std::uint64_t fetchedSqes() const { return _fetchedSqes; }
+    /// @}
+
     /**
      * Post a completion for (sqid, cid). Public so the owning device
      * model (which executes commands on the controller's behalf) can
@@ -141,6 +202,17 @@ class ControllerModel : public sim::SimObject
         std::uint16_t head = 0;
         std::uint16_t tail = 0; ///< latest doorbell value
         std::uint16_t cqid = 0;
+        std::uint8_t prio = kQPrioMedium; ///< QPRIO (WRR class)
+        std::uint32_t maxBacklog = 0;     ///< deepest un-fetched backlog
+        std::uint64_t fetched = 0;        ///< SQEs fetched lifetime
+
+        std::uint32_t
+        backlog() const
+        {
+            if (!valid || size == 0)
+                return 0;
+            return (tail + size - head) % size;
+        }
     };
 
     struct ComplQueue
@@ -155,6 +227,9 @@ class ControllerModel : public sim::SimObject
         std::uint16_t vector = 0;
     };
 
+    /** Sentinel for serviceRound(): any priority class qualifies. */
+    static constexpr std::uint8_t kPrioAny = 0xff;
+
     void enable();
     void disable();
     void doorbell(const DoorbellRef &ref, std::uint64_t value);
@@ -162,6 +237,24 @@ class ControllerModel : public sim::SimObject
     void dispatch(const Sqe &sqe, std::uint16_t sqid);
     void adminBuiltin(const Sqe &sqe);
     void identify(const Sqe &sqe);
+    /** Request an arbitration pass (doorbell-batched). */
+    void signalArbitration();
+    /** One arbitration pass over the IO SQs; re-arms while backlogged. */
+    void arbitrate();
+    /**
+     * Service SQs of class @p prio (kPrioAny matches all) in
+     * round-robin order from @p *cursor, one burst per service, until
+     * @p credits services are spent or a full cycle finds no backlog.
+     * @return services performed.
+     */
+    std::uint32_t serviceRound(std::uint8_t prio, std::uint32_t credits,
+                               std::uint16_t *cursor);
+    /**
+     * Fetch up to @p maxN SQEs from @p sqid as one coalesced DMA
+     * (clamped at the ring-wrap point; the remainder waits for the
+     * next service). Dispatch order within the SQ is preserved.
+     */
+    void fetchBurst(std::uint16_t sqid, std::uint32_t maxN);
 
     Config _cfg;
     pcie::PcieUpstreamIf *_up = nullptr;
@@ -176,6 +269,15 @@ class ControllerModel : public sim::SimObject
     std::uint32_t _inflight = 0;
     std::uint64_t _readOps = 0, _writeOps = 0;
     std::uint64_t _readBytes = 0, _writeBytes = 0;
+
+    bool _arbScheduled = false;
+    std::uint16_t _rrCursor = 1;          ///< plain-RR position
+    std::uint16_t _wrrCursor[4] = {1, 1, 1, 1}; ///< per-class positions
+    std::uint64_t _arbRounds = 0;
+    std::uint64_t _sqDoorbells = 0;
+    std::uint64_t _doorbellsCoalesced = 0;
+    std::uint64_t _fetchBatches = 0;
+    std::uint64_t _fetchedSqes = 0;
 };
 
 } // namespace bms::nvme

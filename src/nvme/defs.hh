@@ -23,6 +23,14 @@ inline constexpr std::uint32_t kPageSize = 4096;
 /** Logical block size all namespaces use (P4510 formatted 4K). */
 inline constexpr std::uint32_t kBlockSize = 4096;
 
+/** @name SQ priority classes (CreateIoSq CDW11 QPRIO, bits 02:01). */
+/// @{
+inline constexpr std::uint8_t kQPrioUrgent = 0;
+inline constexpr std::uint8_t kQPrioHigh = 1;
+inline constexpr std::uint8_t kQPrioMedium = 2;
+inline constexpr std::uint8_t kQPrioLow = 3;
+/// @}
+
 /** @name I/O command opcodes (NVM command set). */
 /// @{
 enum class IoOpcode : std::uint8_t

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/check.hh"
@@ -16,17 +17,45 @@ EventQueue::~EventQueue()
     Check::popTickSource(this);
 }
 
+LaneId
+EventQueue::createLane()
+{
+    BMS_ASSERT_LT(_lanes.size(), kMaxLanes, "event lane id space exhausted");
+    _lanes.emplace_back();
+    return static_cast<LaneId>(_lanes.size() - 1);
+}
+
 EventId
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::scheduleOn(LaneId lane, Tick when, Callback cb)
 {
     BMS_ASSERT(when >= _now, "cannot schedule into the past: when=", when,
                " now=", _now);
     BMS_ASSERT(cb, "null event callback scheduled for tick ", when);
-    EventId id = _nextId++;
-    _heap.push(Entry{when, id, std::move(cb)});
-    _pending.insert(id);
+    BMS_ASSERT_LT(lane, _lanes.size(), "schedule on unknown lane ", lane);
+    Lane &L = _lanes[lane];
+
+    std::uint32_t slot;
+    if (!L.freeSlots.empty()) {
+        slot = L.freeSlots.back();
+        L.freeSlots.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(L.slots.size());
+        BMS_ASSERT_LT(slot, kMaxSlots, "lane ", lane, " slot space exhausted");
+        L.slots.emplace_back();
+    }
+    Slot &s = L.slots[slot];
+    s.cb = std::move(cb);
+    s.state = SlotState::Pending;
+
+    std::uint64_t seq = _nextSeq++;
+    L.heap.push_back(HeapEntry{when, seq, slot});
+    std::push_heap(L.heap.begin(), L.heap.end(), EntryLater{});
+    // If the new entry became the lane head, advertise it to the top
+    // heap; stale references to the previous head are dropped lazily.
+    if (L.heap.front().seq == seq)
+        pushTop(when, seq, lane);
     ++_live;
-    return id;
+    return makeId(s.gen, lane, slot);
 }
 
 void
@@ -34,58 +63,129 @@ EventQueue::cancel(EventId id)
 {
     if (id == kInvalidEventId)
         return;
-    // Only ids that are still physically in the heap may enter the
-    // lazily-deleted set; cancelling an executed (or never-issued) id
-    // is a no-op. The entry is purged when its tick is popped, so
-    // _cancelled can never outgrow the heap.
-    if (!_pending.count(id) || !_cancelled.insert(id).second)
+    auto lane = static_cast<std::uint32_t>((id >> kSlotBits) &
+                                           (kMaxLanes - 1));
+    auto slot = static_cast<std::uint32_t>(id & (kMaxSlots - 1));
+    auto gen = static_cast<std::uint32_t>(id >> 32);
+    // Ids of executed (or never-issued) events fail the generation
+    // check and cancelling them is a no-op. The tombstoned entry is
+    // purged when it reaches its lane head, so tombstone accounting
+    // can never outgrow the heaps.
+    if (lane >= _lanes.size())
         return;
+    Lane &L = _lanes[lane];
+    if (slot >= L.slots.size())
+        return;
+    Slot &s = L.slots[slot];
+    if (s.gen != gen || s.state != SlotState::Pending)
+        return;
+    s.state = SlotState::Cancelled;
+    s.cb = nullptr;
+    ++L.cancelled;
     BMS_ASSERT(_live > 0, "cancel(", id, ") with no live events");
     --_live;
+}
+
+void
+EventQueue::pushTop(Tick when, std::uint64_t seq, std::uint32_t lane)
+{
+    _top.push_back(TopEntry{when, seq, lane});
+    std::push_heap(_top.begin(), _top.end(), TopLater{});
+}
+
+void
+EventQueue::popTop()
+{
+    std::pop_heap(_top.begin(), _top.end(), TopLater{});
+    _top.pop_back();
+}
+
+void
+EventQueue::releaseSlot(Lane &lane, std::uint32_t slot)
+{
+    Slot &s = lane.slots[slot];
+    s.cb = nullptr;
+    s.state = SlotState::Free;
+    if (++s.gen == 0)
+        s.gen = 1;
+    lane.freeSlots.push_back(slot);
+}
+
+void
+EventQueue::purgeLaneHead(Lane &lane)
+{
+    while (!lane.heap.empty()) {
+        const HeapEntry &h = lane.heap.front();
+        if (lane.slots[h.slot].state != SlotState::Cancelled)
+            break;
+        releaseSlot(lane, h.slot);
+        std::pop_heap(lane.heap.begin(), lane.heap.end(), EntryLater{});
+        lane.heap.pop_back();
+        BMS_ASSERT(lane.cancelled > 0, "tombstone count underflow");
+        --lane.cancelled;
+    }
+}
+
+bool
+EventQueue::settleTop()
+{
+    while (!_top.empty()) {
+        TopEntry t = _top.front();
+        Lane &L = _lanes[t.lane];
+        if (!L.heap.empty() && L.heap.front().seq == t.seq) {
+            if (L.slots[L.heap.front().slot].state == SlotState::Pending)
+                return true; // genuine, runnable lane head
+            // Head is tombstoned: purge it (and any tombstoned
+            // successors) and re-advertise the lane's new head.
+            popTop();
+            purgeLaneHead(L);
+            if (!L.heap.empty())
+                pushTop(L.heap.front().when, L.heap.front().seq, t.lane);
+            continue;
+        }
+        popTop(); // stale reference to an executed/purged head
+    }
+    return false;
 }
 
 bool
 EventQueue::runOne()
 {
-    while (!_heap.empty()) {
-        // priority_queue::top() is const; move out via const_cast is
-        // safe because we pop immediately after.
-        Entry entry = std::move(const_cast<Entry &>(_heap.top()));
-        _heap.pop();
-        _pending.erase(entry.id);
-        if (_cancelled.erase(entry.id))
-            continue;
-        BMS_ASSERT(entry.when >= _now,
-                   "event ", entry.id, " popped in the past: when=",
-                   entry.when, " now=", _now);
-        _now = entry.when;
-        --_live;
-        ++_executed;
-        if (Check::paranoid())
-            checkInvariants();
-        entry.cb();
-        return true;
-    }
-    return false;
+    if (!settleTop())
+        return false;
+    TopEntry t = _top.front();
+    popTop();
+    Lane &L = _lanes[t.lane];
+
+    HeapEntry h = L.heap.front();
+    std::pop_heap(L.heap.begin(), L.heap.end(), EntryLater{});
+    L.heap.pop_back();
+    Callback cb = std::move(L.slots[h.slot].cb);
+    releaseSlot(L, h.slot);
+    purgeLaneHead(L);
+    if (!L.heap.empty())
+        pushTop(L.heap.front().when, L.heap.front().seq, t.lane);
+
+    BMS_ASSERT(h.when >= _now, "event popped in the past: when=", h.when,
+               " now=", _now);
+    _now = h.when;
+    --_live;
+    ++_executed;
+    if (Check::paranoid())
+        checkInvariants();
+    cb();
+    return true;
 }
 
 void
 EventQueue::runUntil(Tick limit)
 {
-    for (;;) {
-        // Prune cancelled entries so the head check below sees the
-        // next *live* event; otherwise a cancelled early entry could
-        // let an event beyond @p limit execute.
-        while (!_heap.empty() && _cancelled.count(_heap.top().id)) {
-            _cancelled.erase(_heap.top().id);
-            _pending.erase(_heap.top().id);
-            _heap.pop();
-        }
-        if (_heap.empty() || _heap.top().when > limit)
-            break;
-        if (!runOne())
-            break;
-    }
+    // settleTop() purges tombstones on the way to the head, so the
+    // limit check below always sees the next *live* event; a
+    // cancelled early entry can never let an event beyond @p limit
+    // execute. Re-settling inside runOne() is O(1) once settled.
+    while (settleTop() && _top.front().when <= limit)
+        runOne();
     if (_now < limit)
         _now = limit;
 }
@@ -101,22 +201,41 @@ EventQueue::runAll()
 void
 EventQueue::checkInvariants() const
 {
-    if (!_heap.empty()) {
-        BMS_ASSERT(_heap.top().when >= _now,
-                   "head event scheduled in the past: when=",
-                   _heap.top().when, " now=", _now);
+    std::size_t live = 0;
+    std::size_t cancelled = 0;
+    for (const Lane &L : _lanes) {
+        // Slab accounting: every slot is either in the heap (pending
+        // or tombstoned) or on the free list.
+        BMS_ASSERT_EQ(L.heap.size() + L.freeSlots.size(), L.slots.size(),
+                      "lane slab accounting does not cover the heap");
+        BMS_ASSERT_LE(L.cancelled, L.heap.size(),
+                      "tombstone count outgrew the lane heap");
+        if (!L.heap.empty()) {
+            BMS_ASSERT(L.heap.front().when >= _now,
+                       "lane head scheduled in the past: when=",
+                       L.heap.front().when, " now=", _now);
+        }
+        live += L.heap.size() - L.cancelled;
+        cancelled += L.cancelled;
     }
-    // Lazily-deleted ids must all still sit in the heap awaiting
-    // purge; anything else would let the set grow without bound.
-    BMS_ASSERT_LE(_cancelled.size(), _heap.size(),
-                  "cancelled-id set outgrew the heap");
-    BMS_ASSERT_EQ(_pending.size(), _heap.size(),
-                  "pending-id set out of sync with heap");
-    BMS_ASSERT_EQ(_live + _cancelled.size(), _heap.size(),
-                  "live/cancelled accounting does not cover the heap");
-    for (EventId id : _cancelled) {
-        BMS_ASSERT(_pending.count(id),
-                   "cancelled id ", id, " is not pending in the heap");
+    BMS_ASSERT_EQ(live, _live,
+                  "live accounting does not cover the lane heaps");
+
+    // Reachability: every non-empty lane's current head must be
+    // advertised in the top heap, or the merge would skip the lane.
+    for (std::size_t lane = 0; lane < _lanes.size(); ++lane) {
+        const Lane &L = _lanes[lane];
+        if (L.heap.empty())
+            continue;
+        bool found = false;
+        for (const TopEntry &t : _top) {
+            if (t.lane == lane && t.seq == L.heap.front().seq) {
+                found = true;
+                break;
+            }
+        }
+        BMS_ASSERT(found, "lane ", lane,
+                   " head is not reachable from the top heap");
     }
 }
 

@@ -1,13 +1,22 @@
 /**
  * @file
- * Deterministic discrete-event queue.
+ * Deterministic discrete-event queue, sharded into per-component
+ * event lanes.
  *
  * Events scheduled at the same tick execute in scheduling order
  * (FIFO), which keeps every experiment bit-for-bit reproducible for a
- * given seed. Cancellation is supported via lazily-deleted ids: a
- * cancelled entry stays in the heap and is purged when its tick is
- * popped, so the cancelled-id set is always bounded by the heap size
- * (checkInvariants() enforces this).
+ * given seed. Internally the queue is split into lanes (one per hot
+ * component: front function, SSD slot, host driver, ...); each lane
+ * keeps a small binary heap of POD entries while callbacks live in a
+ * per-lane slab. A top-level heap merges the lane heads in exact
+ * global (when, seq) order, where `seq` is a queue-wide monotone
+ * schedule counter — so the execution order is *identical* to a
+ * single flat queue regardless of how events are partitioned into
+ * lanes. Determinism therefore does not depend on the lane layout.
+ *
+ * Cancellation tombstones the slab slot; the entry is purged when it
+ * reaches its lane head, so cancelled bookkeeping is always bounded
+ * by the heap contents (checkInvariants() enforces the accounting).
  */
 
 #ifndef BMS_SIM_EVENT_QUEUE_HH
@@ -15,8 +24,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/types.hh"
@@ -29,9 +36,15 @@ using EventId = std::uint64_t;
 /** Id returned for events that were not actually scheduled. */
 inline constexpr EventId kInvalidEventId = 0;
 
+/** Identifies one event lane; lane 0 always exists (the default). */
+using LaneId = std::uint16_t;
+
+/** Lane every event lands on unless a component opts into its own. */
+inline constexpr LaneId kDefaultLane = 0;
+
 /**
  * Priority queue of timed callbacks with deterministic same-tick
- * ordering and O(log n) schedule/pop.
+ * ordering, O(log lane-size) schedule/pop, and O(1) cancellation.
  */
 class EventQueue
 {
@@ -47,18 +60,35 @@ class EventQueue
     Tick now() const { return _now; }
 
     /**
-     * Schedule @p cb to run at absolute time @p when.
+     * Create a new event lane and return its id. Lanes are cheap;
+     * hot components get one each so their heaps stay small and
+     * cache-resident. Never returns kDefaultLane.
+     */
+    LaneId createLane();
+
+    /** Number of lanes (>= 1; lane 0 always exists). */
+    std::size_t laneCount() const { return _lanes.size(); }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when on lane 0.
      * @pre when >= now()
      * @return id usable with cancel().
      */
-    EventId schedule(Tick when, Callback cb);
+    EventId
+    schedule(Tick when, Callback cb)
+    {
+        return scheduleOn(kDefaultLane, when, std::move(cb));
+    }
 
-    /** Schedule @p cb to run @p delay ticks from now. */
+    /** Schedule @p cb to run @p delay ticks from now on lane 0. */
     EventId
     scheduleAfter(Tick delay, Callback cb)
     {
-        return schedule(_now + delay, std::move(cb));
+        return scheduleOn(kDefaultLane, _now + delay, std::move(cb));
     }
+
+    /** Schedule @p cb at absolute time @p when on lane @p lane. */
+    EventId scheduleOn(LaneId lane, Tick when, Callback cb);
 
     /**
      * Cancel a pending event. Cancelling an already-executed or
@@ -93,41 +123,107 @@ class EventQueue
 
     /**
      * Structure-wide self-check (BMS_ASSERT on violation):
-     *  - the head event is never in the past;
+     *  - no lane head is in the past;
      *  - every heap entry is accounted as either live or cancelled,
-     *    so the lazily-deleted id set cannot grow unboundedly;
-     *  - live/pending bookkeeping agrees with the heap.
+     *    so tombstone bookkeeping cannot grow unboundedly;
+     *  - per-lane slab accounting (heap + free list covers the slab);
+     *  - every non-empty lane's head is reachable from the top heap.
      * Runs after every pop under Check::paranoid(); tests call it
      * directly.
      */
     void checkInvariants() const;
 
   private:
-    struct Entry
+    /** EventId layout: generation(32) | lane(12) | slot(20). */
+    static constexpr unsigned kSlotBits = 20;
+    static constexpr unsigned kLaneBits = 12;
+    static constexpr std::uint32_t kMaxSlots = 1u << kSlotBits;
+    static constexpr std::uint32_t kMaxLanes = 1u << kLaneBits;
+
+    enum class SlotState : std::uint8_t
     {
-        Tick when;
-        EventId id;
-        Callback cb;
+        Free,
+        Pending,
+        Cancelled,
     };
 
-    struct Later
+    /** POD heap entry: 24 bytes, no callback, cache friendly. */
+    struct HeapEntry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+    };
+
+    /** Min-heap comparator: earliest (when, seq) at the front. */
+    struct EntryLater
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const HeapEntry &a, const HeapEntry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
-            return a.id > b.id; // FIFO among same-tick events
+            return a.seq > b.seq; // FIFO among same-tick events
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
-    /** Ids scheduled but not yet popped (still physically in _heap). */
-    std::unordered_set<EventId> _pending;
-    /** Pending ids whose entry must be dropped when popped. */
-    std::unordered_set<EventId> _cancelled;
+    struct Slot
+    {
+        Callback cb;
+        std::uint32_t gen = 1;
+        SlotState state = SlotState::Free;
+    };
+
+    struct Lane
+    {
+        std::vector<HeapEntry> heap; ///< binary heap (EntryLater)
+        std::vector<Slot> slots;     ///< callback slab
+        std::vector<std::uint32_t> freeSlots;
+        std::size_t cancelled = 0; ///< tombstones still in `heap`
+    };
+
+    /** Lazily-maintained reference to a lane head. */
+    struct TopEntry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t lane;
+    };
+
+    struct TopLater
+    {
+        bool
+        operator()(const TopEntry &a, const TopEntry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    static EventId
+    makeId(std::uint32_t gen, LaneId lane, std::uint32_t slot)
+    {
+        return (static_cast<EventId>(gen) << 32) |
+               (static_cast<EventId>(lane) << kSlotBits) | slot;
+    }
+
+    void pushTop(Tick when, std::uint64_t seq, std::uint32_t lane);
+    void popTop();
+    void releaseSlot(Lane &lane, std::uint32_t slot);
+    /** Drop tombstoned entries sitting at @p lane's head. */
+    void purgeLaneHead(Lane &lane);
+    /**
+     * Make _top.front() reference the true global-minimum runnable
+     * event, purging tombstones and stale head references on the way.
+     * @return false if no runnable event remains.
+     */
+    bool settleTop();
+
+    std::vector<Lane> _lanes{1}; ///< lane 0 always exists
+    std::vector<TopEntry> _top;  ///< binary heap (TopLater)
     Tick _now = 0;
-    EventId _nextId = 1;
+    std::uint64_t _nextSeq = 1; ///< queue-wide schedule order
     std::size_t _live = 0;
     std::uint64_t _executed = 0;
 };

@@ -187,6 +187,92 @@ TEST(EventQueue, EventsCanScheduleEvents)
     EXPECT_EQ(q.now(), 40u);
 }
 
+// Lane partitioning is invisible to execution order: events merge in
+// exact global (when, schedule-order), identical to a flat queue.
+TEST(EventQueue, LanesMergeInGlobalScheduleOrder)
+{
+    EventQueue q;
+    LaneId a = q.createLane();
+    LaneId b = q.createLane();
+    EXPECT_NE(a, kDefaultLane);
+    EXPECT_NE(a, b);
+    std::vector<int> order;
+    // Interleave lanes and ticks; same-tick events on *different*
+    // lanes must still run in scheduling order.
+    q.scheduleOn(a, 20, [&] { order.push_back(2); });
+    q.scheduleOn(b, 10, [&] { order.push_back(0); });
+    q.scheduleOn(kDefaultLane, 10, [&] { order.push_back(1); });
+    q.scheduleOn(b, 20, [&] { order.push_back(3); });
+    q.scheduleOn(a, 30, [&] { order.push_back(4); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(q.executedCount(), 5u);
+}
+
+// The same schedule spread across lanes and packed on one lane must
+// execute identically — the determinism argument for lane sharding.
+TEST(EventQueue, LaneLayoutDoesNotChangeExecutionOrder)
+{
+    auto run = [](bool sharded) {
+        EventQueue q;
+        std::vector<LaneId> lanes{kDefaultLane};
+        if (sharded)
+            for (int i = 0; i < 3; ++i)
+                lanes.push_back(q.createLane());
+        std::vector<int> order;
+        for (int i = 0; i < 64; ++i) {
+            LaneId lane = lanes[i % lanes.size()];
+            // Colliding ticks on purpose: (when, seq) breaks ties.
+            q.scheduleOn(lane, 10 * ((i * 7) % 5), [&order, i] {
+                order.push_back(i);
+            });
+        }
+        q.runAll();
+        return order;
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+TEST(EventQueue, CancelWorksAcrossLanes)
+{
+    EventQueue q;
+    LaneId a = q.createLane();
+    bool ran = false;
+    EventId on_a = q.scheduleOn(a, 10, [&] { ran = true; });
+    q.scheduleOn(a, 10, [] {});
+    q.schedule(10, [] {});
+    q.cancel(on_a);
+    q.cancel(on_a); // double cancel: no-op
+    EXPECT_EQ(q.size(), 2u);
+    q.runAll();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.executedCount(), 2u);
+    q.checkInvariants();
+}
+
+TEST(EventQueue, LanedEventsCanScheduleAcrossLanes)
+{
+    EventQueue q;
+    LaneId a = q.createLane();
+    LaneId b = q.createLane();
+    int hops = 0;
+    std::function<void()> hop = [&] {
+        if (++hops < 6)
+            q.scheduleOn(hops % 2 ? b : a, q.now() + 5, hop);
+    };
+    q.scheduleOn(a, 0, hop);
+    q.runAll();
+    EXPECT_EQ(hops, 6);
+    EXPECT_EQ(q.now(), 25u);
+    q.checkInvariants();
+}
+
+TEST(EventQueue, SchedulingOnUnknownLanePanics)
+{
+    EventQueue q;
+    EXPECT_PANIC(q.scheduleOn(42, 10, [] {}));
+}
+
 TEST(Simulator, OwnsObjectsAndTime)
 {
     Simulator sim(42);
