@@ -59,12 +59,24 @@ run_san() {
     echo "== ASan+UBSan fuzz (multi-VF seeds) =="
     ./build-asan/fuzz --seeds=301:304 --horizon-ms=20 \
         --max-tenants=16 || fail=1
+    # The pinned tiering seeds: remote storage nodes with a forced
+    # early spill, a mid-run storage-node loss (recovery must be an
+    # atomic flip to the local shadows — zero data loss) and a
+    # post-recovery promote, plus random link-latency spikes.
+    echo "== ASan+UBSan fuzz (tiering seeds) =="
+    ./build-asan/fuzz --seeds=401:404 --horizon-ms=120 --min-ssds=2 \
+        --remote-nodes=2 --force-tiering || fail=1
     # Quick-mode full-card sweep: catches lane-sharding perf
     # regressions via the events/sec floor (set low — ASan costs
     # roughly an order of magnitude of simulator speed).
     echo "== ASan+UBSan ext_full_card (quick) =="
     ./build-asan/bench/ext_full_card --quick --events-floor=20000 \
         --wall-limit-s=300 || fail=1
+    # Quick-mode remote-tier bench: the tiering transparency gate
+    # (tenant p99 under spill/promote churn vs idle) runs on simulated
+    # time, so it holds even at ASan speed.
+    echo "== ASan+UBSan ext_remote_storage (quick) =="
+    ./build-asan/bench/ext_remote_storage --quick || fail=1
 }
 
 case "${mode}" in

@@ -28,6 +28,14 @@ BmsController::BmsController(sim::Simulator &sim, std::string name,
     _migration->setSlotBusyProbe(
         [this](int slot) { return _hotUpgrade->upgradeInProgress(slot); });
     _hotPlug->setLossless(_migration.get(), &_nsMgr);
+    _tiering = std::make_unique<TieringManager>(
+        sim, name + ".tiering", engine, _nsMgr, *_migration, cfg.tiering);
+    _tiering->setMonitor(_monitor.get());
+    _migration->setTieredSourceGuard(
+        [this](pcie::FunctionId fn, std::uint32_t nsid,
+               std::uint32_t chunk) {
+            return _tiering->isSpilled(fn, nsid, chunk);
+        });
 }
 
 void
@@ -36,7 +44,8 @@ BmsController::attachBackendSsd(int slot, pcie::PcieDeviceIf &ssd,
 {
     _engine.attachBackendSsd(slot, ssd, [this, slot,
                                          ready = std::move(ready)] {
-        _nsMgr.registerSsd(slot, _engine.adaptor(slot).capacityBytes());
+        _nsMgr.registerSsd(slot, _engine.adaptor(slot).capacityBytes(),
+                           _engine.isRemoteSlot(slot));
         ready();
     });
 }
@@ -128,6 +137,8 @@ BmsController::dispatch(Eid src, const MiMessage &req)
         auto fn = static_cast<pcie::FunctionId>(r.u8());
         std::uint32_t nsid = r.u32();
         bool ok = r.ok() && _nsMgr.destroy(fn, nsid);
+        if (ok)
+            _tiering->forgetNamespace(fn, nsid);
         respond(src, req,
                 ok ? MiStatus::Success : MiStatus::InvalidParameter, {});
         return;
@@ -328,6 +339,76 @@ BmsController::dispatch(Eid src, const MiMessage &req)
             w.u64(chunk_bytes);
         }
         respond(src, req, MiStatus::Success, w.take());
+        return;
+      }
+      case MiOpcode::VendorTierStats: {
+        const TieringManager &t = *_tiering;
+        wire::Writer w;
+        w.u32(t.spills());
+        w.u32(t.promotes());
+        w.u32(t.failures());
+        w.u32(t.nodeLosses());
+        w.u32(t.chunksRecovered());
+        w.u32(t.chunksRespilled());
+        const auto &spilled = t.spilled();
+        w.u16(static_cast<std::uint16_t>(
+            std::min<std::size_t>(spilled.size(), 0xFFFF)));
+        std::size_t n = 0;
+        for (const TieringManager::SpilledChunk &c : spilled) {
+            if (n++ == 0xFFFF)
+                break;
+            w.u8(c.fn);
+            w.u32(c.nsid);
+            w.u32(c.chunkIndex);
+            w.u8(c.remoteSlot);
+            w.u8(c.remoteChunk);
+            w.u8(c.shadowSlot);
+            w.u8(c.shadowChunk);
+            w.f64(_monitor->chunkHeatMbps(c.fn, c.nsid, c.chunkIndex));
+        }
+        respond(src, req, MiStatus::Success, w.take());
+        return;
+      }
+      case MiOpcode::VendorSetTierPolicy: {
+        double spill_mbps = r.f64();
+        double promote_mbps = r.f64();
+        std::uint64_t period_ns = r.u64();
+        if (!r.ok() || spill_mbps < 0 || promote_mbps < spill_mbps) {
+            respond(src, req, MiStatus::InvalidParameter, {});
+            return;
+        }
+        TieringConfig policy = _tiering->policy();
+        policy.spillMbpsThreshold = spill_mbps;
+        policy.promoteMbpsThreshold = promote_mbps;
+        policy.policyPeriod = static_cast<sim::Tick>(period_ns);
+        _tiering->setPolicy(policy);
+        respond(src, req, MiStatus::Success, {});
+        return;
+      }
+      case MiOpcode::VendorFailNode: {
+        std::uint8_t node = r.u8();
+        bool known = false;
+        for (int s = 0; r.ok() && s < _engine.ssdSlots(); ++s) {
+            if (_engine.isRemoteSlot(s) && _engine.slotNode(s) == node)
+                known = true;
+        }
+        if (!r.ok() || !known) {
+            respond(src, req, MiStatus::InvalidParameter, {});
+            return;
+        }
+        if (_nodeDownHook)
+            _nodeDownHook(node, true);
+        _tiering->onNodeLoss(
+            node, [this, src, req](TieringManager::RecoveryReport rep) {
+                wire::Writer w;
+                w.u8(rep.ok ? 1 : 0);
+                w.u32(rep.recovered);
+                w.u32(rep.respilled);
+                respond(src, req,
+                        rep.ok ? MiStatus::Success
+                               : MiStatus::InternalError,
+                        w.take());
+            });
         return;
       }
       case MiOpcode::VendorListNamespaces:

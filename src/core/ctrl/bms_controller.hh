@@ -22,6 +22,7 @@
 #include "core/ctrl/io_monitor.hh"
 #include "core/ctrl/migration/migration_manager.hh"
 #include "core/ctrl/namespace_manager.hh"
+#include "core/ctrl/tiering/tiering_manager.hh"
 #include "core/engine/bms_engine.hh"
 #include "core/mgmt/mctp.hh"
 #include "core/mgmt/nvme_mi.hh"
@@ -41,6 +42,7 @@ struct BmsControllerConfig
     HotUpgradeManager::Config upgrade;
     HotPlugManager::Config hotplug;
     MigrationManager::Config migration;
+    TieringConfig tiering;
 };
 
 /** The ARM control plane of one BM-Store card. */
@@ -59,6 +61,17 @@ class BmsController : public sim::SimObject
     HotUpgradeManager &hotUpgrade() { return *_hotUpgrade; }
     HotPlugManager &hotPlug() { return *_hotPlug; }
     MigrationManager &migration() { return *_migration; }
+    TieringManager &tiering() { return *_tiering; }
+
+    /**
+     * Testbed hook fired when a `failNode` verb takes a storage node
+     * down (the controller itself has no reference to the remote
+     * machines; the testbed flips the StorageServer models).
+     */
+    void setNodeDownHook(std::function<void(int, bool)> hook)
+    {
+        _nodeDownHook = std::move(hook);
+    }
 
     /**
      * Register the spare-disk supply used when a remote hot-plug
@@ -95,7 +108,9 @@ class BmsController : public sim::SimObject
     std::unique_ptr<HotUpgradeManager> _hotUpgrade;
     std::unique_ptr<HotPlugManager> _hotPlug;
     std::unique_ptr<MigrationManager> _migration;
+    std::unique_ptr<TieringManager> _tiering;
     std::function<pcie::PcieDeviceIf *(int)> _spareProvider;
+    std::function<void(int, bool)> _nodeDownHook;
 };
 
 } // namespace bms::core

@@ -10,6 +10,7 @@
 #define BMS_CORE_CTRL_IO_MONITOR_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/engine/bms_engine.hh"
@@ -97,6 +98,33 @@ class IoMonitor : public sim::SimObject
 
     std::uint64_t samplesTaken() const { return _samples; }
 
+    /** @name Per-chunk access heat (tiering policy input). */
+    /// @{
+    /**
+     * Decayed access rate of one logical chunk of (fn, nsid) in MB/s
+     * (EMA over sampling periods; zero for never-touched chunks).
+     */
+    double
+    chunkHeatMbps(pcie::FunctionId fn, std::uint32_t nsid,
+                  std::uint32_t chunk) const
+    {
+        auto it = _heat.find(TargetController::heatKey(
+            QosModule::key(fn, nsid), chunk));
+        return it == _heat.end() ? 0.0 : it->second;
+    }
+
+    /** Visit every tracked (qos key, chunk, MB/s) triple. */
+    void
+    forEachChunkHeat(const std::function<void(std::uint32_t, std::uint32_t,
+                                              double)> &fn) const
+    {
+        for (const auto &[key, mbps] : _heat) {
+            fn(static_cast<std::uint32_t>(key >> 32),
+               static_cast<std::uint32_t>(key & 0xffffffffu), mbps);
+        }
+    }
+    /// @}
+
   private:
     struct Raw
     {
@@ -160,6 +188,34 @@ class IoMonitor : public sim::SimObject
             }
             _slotLast[s] = raw;
         }
+        // Per-chunk heat: fold this period's translate-time byte
+        // counts into an EMA so a burst cools off over a few periods
+        // instead of instantly (hysteresis for the tiering policy).
+        if (period_sec > 0.0) {
+            auto delta = _engine.targetController().drainHeat();
+            for (auto it = _heat.begin(); it != _heat.end();) {
+                auto d = delta.find(it->first);
+                double inst = d == delta.end()
+                                  ? 0.0
+                                  : static_cast<double>(d->second) / 1e6 /
+                                        period_sec;
+                if (d != delta.end())
+                    delta.erase(d);
+                it->second = kHeatDecay * it->second +
+                             (1.0 - kHeatDecay) * inst;
+                if (it->second < kHeatEpsilonMbps)
+                    it = _heat.erase(it);
+                else
+                    ++it;
+            }
+            for (const auto &[key, bytes] : delta) {
+                double inst =
+                    static_cast<double>(bytes) / 1e6 / period_sec;
+                double ema = (1.0 - kHeatDecay) * inst;
+                if (ema >= kHeatEpsilonMbps)
+                    _heat.emplace(key, ema);
+            }
+        }
         ++_samples;
         schedule(_period, [this] { sample(); });
     }
@@ -170,6 +226,9 @@ class IoMonitor : public sim::SimObject
         std::uint64_t bytes = 0;
     };
 
+    static constexpr double kHeatDecay = 0.7;
+    static constexpr double kHeatEpsilonMbps = 0.01;
+
     BmsEngine &_engine;
     sim::Tick _period;
     bool _running = false;
@@ -178,6 +237,8 @@ class IoMonitor : public sim::SimObject
     std::vector<FnSample> _current;
     std::vector<SlotRaw> _slotLast;
     std::vector<SlotSample> _slotCurrent;
+    /** heatKey → decayed MB/s. */
+    std::unordered_map<std::uint64_t, double> _heat;
 };
 
 } // namespace bms::core

@@ -84,16 +84,28 @@ MigrationManager::migrate(pcie::FunctionId fn, std::uint32_t nsid,
                           std::uint32_t chunk_index, int dst_slot,
                           std::function<void(Report)> done)
 {
+    return migrate(fn, nsid, chunk_index, dst_slot, Options(),
+                   std::move(done));
+}
+
+bool
+MigrationManager::migrate(pcie::FunctionId fn, std::uint32_t nsid,
+                          std::uint32_t chunk_index, int dst_slot,
+                          Options opts, std::function<void(Report)> done)
+{
     if (dst_slot != kAutoSlot &&
         (dst_slot < 0 || dst_slot >= _engine.ssdSlots())) {
         return false;
     }
+    if (opts.pinnedDstChunk >= 0 && dst_slot == kAutoSlot)
+        return false; // a pinned chunk only makes sense on a known slot
     Job j;
     j.id = _nextId++;
     j.fn = fn;
     j.nsid = nsid;
     j.chunkIndex = chunk_index;
     j.dstSlot = dst_slot;
+    j.opts = std::move(opts);
     j.done = std::move(done);
     _queue.push_back(std::move(j));
     startNext();
@@ -132,6 +144,11 @@ MigrationManager::startNext()
         failBeforeCopy("unknown namespace chunk");
         return;
     }
+    if (!j.opts.allowTieredSource && _tierGuard &&
+        _tierGuard(j.fn, j.nsid, j.chunkIndex)) {
+        failBeforeCopy("source chunk is tier-spilled (promote it instead)");
+        return;
+    }
     j.srcSlot = alloc->slot;
     j.srcChunk = alloc->chunk;
     const LbaMapGeometry &geom = binding->map.geometry();
@@ -159,19 +176,43 @@ MigrationManager::startNext()
         failBeforeCopy("source or destination adaptor not ready");
         return;
     }
-    auto dchunk = _ns.takeChunk(dst);
-    if (!dchunk) {
-        failBeforeCopy("destination has no free chunk");
-        return;
+    if (j.opts.pinnedDstChunk >= 0) {
+        // The caller owns the destination chunk already (a tier
+        // shadow); it never entered the free pool, so nothing to
+        // reserve or release.
+        if (static_cast<std::uint64_t>(j.opts.pinnedDstChunk) >=
+            _ns.totalChunks(dst)) {
+            failBeforeCopy("pinned destination chunk out of range");
+            return;
+        }
+        j.dSlot = static_cast<std::uint8_t>(dst);
+        j.dChunk = static_cast<std::uint8_t>(j.opts.pinnedDstChunk);
+        j.dstTaken = false;
+    } else {
+        auto dchunk = _ns.takeChunk(dst);
+        if (!dchunk) {
+            failBeforeCopy("destination has no free chunk");
+            return;
+        }
+        j.dSlot = static_cast<std::uint8_t>(dst);
+        j.dChunk = *dchunk;
+        j.dstTaken = true;
     }
-    j.dSlot = static_cast<std::uint8_t>(dst);
-    j.dChunk = *dchunk;
-    j.dstTaken = true;
     bool locked = _ns.lockNs(j.fn, j.nsid);
     BMS_ASSERT(locked, "namespace vanished between lookup and lock");
     j.nsLocked = true;
 
-    j.segBlocks = _cfg.segmentBytes / nvme::kBlockSize;
+    std::uint64_t seg_bytes = _cfg.segmentBytes;
+    if (j.opts.segmentBytes > 0) {
+        // The staging buffer is sized for the config default, so a
+        // per-job override may only shrink the segment.
+        seg_bytes = std::max<std::uint64_t>(
+            nvme::kBlockSize,
+            std::min<std::uint64_t>(j.opts.segmentBytes,
+                                    _cfg.segmentBytes));
+        seg_bytes -= seg_bytes % nvme::kBlockSize;
+    }
+    j.segBlocks = seg_bytes / nvme::kBlockSize;
     j.numSegs = static_cast<std::uint32_t>(
         (j.chunkBlocks + j.segBlocks - 1) / j.segBlocks);
     ensureBuffers();
@@ -275,7 +316,10 @@ MigrationManager::segmentFailed(std::uint32_t seg, int attempt,
 {
     Job &j = *_current;
     ++_segmentRetries;
-    if (attempt + 1 >= _cfg.maxSegmentRetries) {
+    int max_retries = j.opts.maxSegmentRetries >= 0
+                          ? j.opts.maxSegmentRetries
+                          : _cfg.maxSegmentRetries;
+    if (attempt + 1 >= max_retries) {
         logWarn("migration #", j.id, ": segment ", seg, " ", leg,
                 " failed after ", attempt + 1, " attempts");
         abortCurrent("segment copy retries exhausted");
@@ -296,6 +340,11 @@ MigrationManager::cutover()
                   "cutover with held writes");
     NsBinding *binding = _engine.findBinding(j.fn, j.nsid);
     BMS_ASSERT(binding, "binding vanished during migration (ns locked)");
+    // Tier bookkeeping (arming/clearing the shadow mirror) happens in
+    // the same instant as the flip, so no write can observe one
+    // without the other.
+    if (j.opts.beforeCutover)
+        j.opts.beforeCutover(j.dSlot, j.dChunk);
     // The atomic one-byte flip of Fig. 4(a): every later translate
     // resolves to the destination chunk.
     bool flipped = binding->map.setEntry(j.row, j.col, j.dChunk, j.dSlot);
@@ -305,6 +354,14 @@ MigrationManager::cutover()
                                 j.dChunk);
     BMS_ASSERT(moved, "namespace record lost during migration");
     gate.closeMigration();
+    if (j.opts.keepSource) {
+        // The source chunk stays allocated (it is now the shadow
+        // copy); in-flight pre-cutover reads against it are harmless.
+        logInfo("migration #", j.id, " done (source kept): ",
+                j.bytesCopied, " bytes copied");
+        finishCurrent(true);
+        return;
+    }
     // The source chunk returns to the free pool only once the last
     // pre-cutover command that translated onto it has completed.
     gate.whenChunkIdle(j.srcSlot, j.srcChunk, j.chunkBlocks, [this] {
@@ -328,8 +385,10 @@ MigrationManager::abortCurrent(const char *why)
     _engine.migrationGate().whenChunkIdle(
         j.dSlot, j.dChunk, j.chunkBlocks, [this] {
             Job &j = *_current;
-            _ns.releaseChunk(j.dSlot, j.dChunk);
-            j.dstTaken = false;
+            if (j.dstTaken) {
+                _ns.releaseChunk(j.dSlot, j.dChunk);
+                j.dstTaken = false;
+            }
             finishCurrent(false);
         });
 }
@@ -353,6 +412,8 @@ MigrationManager::finishCurrent(bool ok)
     rep.id = j.id;
     rep.srcSlot = j.srcSlot;
     rep.dstSlot = j.dSlot;
+    rep.srcChunk = j.srcChunk;
+    rep.dstChunk = j.dChunk;
     rep.elapsed = now() - j.startedAt;
     rep.bytesCopied = j.bytesCopied;
 
@@ -373,7 +434,9 @@ MigrationManager::pickDestination(int src_slot) const
     int best = -1;
     std::uint64_t best_free = 0;
     for (int s = 0; s < _engine.ssdSlots(); ++s) {
-        if (s == src_slot || _ns.quiesced(s))
+        // Remote slots never receive capacity placement — only the
+        // tiering manager spills onto them deliberately.
+        if (s == src_slot || _ns.quiesced(s) || _engine.isRemoteSlot(s))
             continue;
         std::uint64_t free = _ns.freeChunks(s);
         if (free == 0)
@@ -461,7 +524,7 @@ MigrationManager::rebalanceOnce(std::function<void(Report)> done)
     const NamespaceManager::Occupancy *src = nullptr;
     const NamespaceManager::Occupancy *dst = nullptr;
     for (const auto &o : occ) {
-        if (o.quiesced || o.total == 0)
+        if (o.quiesced || o.remote || o.total == 0)
             continue;
         if (!src || o.used > src->used ||
             (o.used == src->used &&

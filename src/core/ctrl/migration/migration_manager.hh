@@ -95,8 +95,54 @@ class MigrationManager : public sim::SimObject
         std::uint32_t id = 0;
         std::uint8_t srcSlot = 0;
         std::uint8_t dstSlot = 0;
+        std::uint8_t srcChunk = 0;
+        std::uint8_t dstChunk = 0;
         sim::Tick elapsed = 0;
         std::uint64_t bytesCopied = 0;
+    };
+
+    /** Per-job knobs used by the tiering manager. */
+    struct Options
+    {
+        /**
+         * Destination physical chunk already owned by the caller
+         * (-1 = reserve one via takeChunk). A promote lands on the
+         * spilled chunk's existing local shadow, which the tiering
+         * manager never released.
+         */
+        int pinnedDstChunk = -1;
+        /**
+         * Keep the source chunk allocated after cutover (a spill
+         * turns the old local chunk into the shadow copy instead of
+         * freeing it).
+         */
+        bool keepSource = false;
+        /**
+         * Runs synchronously at cutover with the resolved
+         * (dst_slot, dst_chunk), immediately before the map entry
+         * flips (the tiering manager arms/clears the gate's tier
+         * mirror inside this same instant, so no write can slip
+         * between the mirror change and the flip).
+         */
+        std::function<void(std::uint8_t, std::uint8_t)> beforeCutover;
+        /** Per-job copy granularity (0 = config default; clamped). */
+        std::uint64_t segmentBytes = 0;
+        /**
+         * Permit a source chunk the tiering registry owns (promote
+         * and respill paths only). Generic moves of a spilled chunk
+         * are refused: they would strand the armed strict mirror and
+         * stale the shadow the loss recovery depends on.
+         */
+        bool allowTieredSource = false;
+        /**
+         * Per-job segment-retry cap (-1 = config default). Tier
+         * moves lower it: the remote transport already retries each
+         * I/O internally, and a write held behind a fenced segment
+         * waits out every retry — against a dead node that is
+         * ~750 ms per attempt, so 16 of them would stall tenants
+         * past the transparency budget.
+         */
+        int maxSegmentRetries = -1;
     };
 
     struct EvacReport
@@ -120,6 +166,15 @@ class MigrationManager : public sim::SimObject
     /** I/O-monitor used for load-aware placement (optional). */
     void setMonitor(IoMonitor *monitor) { _monitor = monitor; }
 
+    /** Predicate marking chunks owned by the tiering registry (their
+     *  generic migration is refused; see Options::allowTieredSource). */
+    void setTieredSourceGuard(
+        std::function<bool(pcie::FunctionId, std::uint32_t, std::uint32_t)>
+            guard)
+    {
+        _tierGuard = std::move(guard);
+    }
+
     /** Re-program the copy bandwidth budget (MB/s; 0 = unpaced). */
     void setBudget(double mbps);
     double budget() const { return _cfg.budgetMbps; }
@@ -132,6 +187,11 @@ class MigrationManager : public sim::SimObject
      */
     bool migrate(pcie::FunctionId fn, std::uint32_t nsid,
                  std::uint32_t chunk_index, int dst_slot,
+                 std::function<void(Report)> done);
+
+    /** Same, with per-job options (tiering spill/promote). */
+    bool migrate(pcie::FunctionId fn, std::uint32_t nsid,
+                 std::uint32_t chunk_index, int dst_slot, Options opts,
                  std::function<void(Report)> done);
 
     /**
@@ -177,6 +237,7 @@ class MigrationManager : public sim::SimObject
         std::uint32_t nsid = 1;
         std::uint32_t chunkIndex = 0;
         int dstSlot = kAutoSlot;
+        Options opts;
         std::function<void(Report)> done;
 
         // Resolved at start.
@@ -218,6 +279,8 @@ class MigrationManager : public sim::SimObject
     Config _cfg;
     IoMonitor *_monitor = nullptr;
     std::function<bool(int)> _slotBusy;
+    std::function<bool(pcie::FunctionId, std::uint32_t, std::uint32_t)>
+        _tierGuard;
 
     std::uint32_t _qosKey;
     std::uint64_t _buf = 0;  ///< chip-memory staging buffer

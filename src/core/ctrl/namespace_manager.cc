@@ -23,15 +23,19 @@ NamespaceManager::poolFor(int slot) const
 }
 
 void
-NamespaceManager::registerSsd(int slot, std::uint64_t capacity_bytes)
+NamespaceManager::registerSsd(int slot, std::uint64_t capacity_bytes,
+                              bool remote)
 {
     std::uint64_t chunk_bytes = chunkBlocks() * nvme::kBlockSize;
     std::uint64_t chunks = capacity_bytes / chunk_bytes;
-    // The 6-bit chunk-base field bounds physical chunks per SSD.
-    chunks = std::min<std::uint64_t>(chunks, 64);
+    // The map entry's chunk-base field bounds physical chunks per SSD
+    // (6 bits in the narrow format, 8 in the wide one).
+    chunks = std::min<std::uint64_t>(
+        chunks, static_cast<std::uint64_t>(_geom.maxChunkBase()) + 1);
     Pool pool;
     pool.slot = slot;
     pool.used.assign(chunks, false);
+    pool.remote = remote;
     auto it = std::find_if(_pools.begin(), _pools.end(),
                            [slot](const Pool &p) { return p.slot == slot; });
     if (it != _pools.end()) {
@@ -50,8 +54,12 @@ NamespaceManager::allocate(std::uint32_t chunks, Policy policy,
     out.reserve(chunks);
     if (_pools.empty())
         return std::nullopt;
-    auto take_from = [&out](Pool &pool) {
+    auto take_from = [&out, policy](Pool &pool) {
         if (pool.quiesce > 0)
+            return false;
+        // Capacity placement stays on local SSDs; remote pools only
+        // fill via the tiering manager (or an explicit Dedicate pin).
+        if (pool.remote && policy != Policy::Dedicate)
             return false;
         for (std::size_t c = 0; c < pool.used.size(); ++c) {
             if (!pool.used[c]) {
@@ -235,6 +243,7 @@ NamespaceManager::occupancy() const
             std::count(pool.used.begin(), pool.used.end(), true));
         o.free = o.total - o.used;
         o.quiesced = pool.quiesce > 0;
+        o.remote = pool.remote;
         out.push_back(o);
     }
     std::sort(out.begin(), out.end(),

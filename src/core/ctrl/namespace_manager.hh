@@ -50,6 +50,7 @@ class NamespaceManager
         std::uint64_t used = 0;
         std::uint64_t free = 0;
         bool quiesced = false;
+        bool remote = false; ///< a storage-node volume, not a local SSD
     };
 
     /** One mapped chunk and the namespace owning it. */
@@ -69,9 +70,13 @@ class NamespaceManager
 
     /**
      * Register back-end SSD @p slot with @p capacity_bytes of raw
-     * capacity (called once the host adaptor reports ready).
+     * capacity (called once the host adaptor reports ready). Remote
+     * slots (storage-node volumes) join the pool set but are skipped
+     * by capacity placement — only the tiering manager spills onto
+     * them (Dedicate placement may still pin to one explicitly).
      */
-    void registerSsd(int slot, std::uint64_t capacity_bytes);
+    void registerSsd(int slot, std::uint64_t capacity_bytes,
+                     bool remote = false);
 
     /**
      * Allocate chunks for a namespace of @p bytes and bind it to
@@ -157,6 +162,7 @@ class NamespaceManager
         int slot = 0;
         std::vector<bool> used;
         int quiesce = 0;
+        bool remote = false;
     };
 
     std::optional<std::vector<Allocation>>

@@ -1,5 +1,6 @@
 #include "core/engine/bms_engine.hh"
 
+#include <algorithm>
 #include <utility>
 
 namespace bms::core {
@@ -33,7 +34,8 @@ BmsEngine::BmsEngine(sim::Simulator &sim, std::string name,
                    std::uint16_t sqid) { handleFrontIo(fn, sqe, sqid); }));
         // Each virtual controller runs on its own event lane so the
         // 128-function fan-out keeps per-lane heaps small.
-        _functions.back()->setEventLane(sim.createLane());
+        if (_cfg.perLaneEvents)
+            _functions.back()->setEventLane(sim.createLane());
     }
     // The production board exposes two x8 back-end interfaces; every
     // pair of SSD slots shares one (paper §IV-E).
@@ -43,6 +45,7 @@ BmsEngine::BmsEngine(sim::Simulator &sim, std::string name,
         _ifaceLinks.push_back(
             std::make_unique<pcie::PcieLink>(2 * _cfg.backendLanes));
     }
+    _slots.resize(static_cast<std::size_t>(_cfg.ssdSlots));
     _adaptors.reserve(static_cast<std::size_t>(_cfg.ssdSlots));
     for (int s = 0; s < _cfg.ssdSlots; ++s) {
         _adaptors.push_back(std::make_unique<HostAdaptor>(
@@ -51,7 +54,8 @@ BmsEngine::BmsEngine(sim::Simulator &sim, std::string name,
             _ifaceLinks[static_cast<std::size_t>(s / 2)].get()));
         // One event lane per SSD slot: back-end queueing/completion
         // traffic stays out of the front-function heaps.
-        _adaptors.back()->setEventLane(sim.createLane());
+        if (_cfg.perLaneEvents)
+            _adaptors.back()->setEventLane(sim.createLane());
     }
 }
 
@@ -121,6 +125,42 @@ BmsEngine::findBinding(pcie::FunctionId fn, std::uint32_t nsid)
 }
 
 void
+BmsEngine::forEachBinding(const std::function<void(NsBinding &)> &fn)
+{
+    // Deterministic iteration order (the unordered_map's order depends
+    // on pointer hashing): visit by ascending QoS key.
+    std::vector<std::uint32_t> keys;
+    keys.reserve(_bindings.size());
+    for (auto &[key, binding] : _bindings) {
+        (void)binding;
+        keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (std::uint32_t key : keys)
+        fn(*_bindings.at(key));
+}
+
+void
+BmsEngine::setSlotRemote(int slot, int node)
+{
+    SlotInfo &info = _slots.at(static_cast<std::size_t>(slot));
+    info.remote = true;
+    info.node = node;
+}
+
+bool
+BmsEngine::isRemoteSlot(int slot) const
+{
+    return _slots.at(static_cast<std::size_t>(slot)).remote;
+}
+
+int
+BmsEngine::slotNode(int slot) const
+{
+    return _slots.at(static_cast<std::size_t>(slot)).node;
+}
+
+void
 BmsEngine::setQos(pcie::FunctionId fn, std::uint32_t nsid,
                   QosLimits limits)
 {
@@ -148,7 +188,7 @@ BmsEngine::storeIoContext(int ssd_slot, std::function<void()> stored)
         for (std::uint32_t r = 0; r < g.rows && !uses; ++r) {
             for (std::uint32_t c = 0; c < g.entriesPerRow && !uses; ++c) {
                 if (binding->map.entryValid(r, c) &&
-                    (binding->map.rawEntry(r, c) & 0x03) == ssd_slot) {
+                    binding->map.entrySlot(r, c) == ssd_slot) {
                     uses = true;
                 }
             }

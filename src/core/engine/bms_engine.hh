@@ -84,6 +84,17 @@ class BmsEngine : public sim::SimObject, public pcie::PcieDeviceIf
                           std::function<void()> ready);
     HostAdaptor &adaptor(int slot) { return *_adaptors.at(slot); }
     int ssdSlots() const { return static_cast<int>(_adaptors.size()); }
+
+    /**
+     * Slot catalog for the disaggregated tier: mark back-end slot
+     * @p slot as a remote storage-node volume on node @p node. A
+     * wide-format mapping entry naming this slot therefore resolves
+     * to a (node, ssd, chunk) location.
+     */
+    void setSlotRemote(int slot, int node);
+    bool isRemoteSlot(int slot) const;
+    /** Storage node owning a remote slot (-1 for local slots). */
+    int slotNode(int slot) const;
     /// @}
 
     /** @name Configuration surface driven by the BMS-Controller. */
@@ -101,6 +112,9 @@ class BmsEngine : public sim::SimObject, public pcie::PcieDeviceIf
     void unbind(pcie::FunctionId fn, std::uint32_t nsid);
 
     NsBinding *findBinding(pcie::FunctionId fn, std::uint32_t nsid);
+
+    /** Visit every bound namespace in deterministic (key) order. */
+    void forEachBinding(const std::function<void(NsBinding &)> &fn);
 
     /** Program a QoS threshold for (fn, nsid). */
     void setQos(pcie::FunctionId fn, std::uint32_t nsid, QosLimits limits);
@@ -133,8 +147,16 @@ class BmsEngine : public sim::SimObject, public pcie::PcieDeviceIf
     void handleFrontIo(FrontFunction &fn, const nvme::Sqe &sqe,
                        std::uint16_t sqid);
 
+    /** Per-slot catalog entry (local SSD vs remote-node volume). */
+    struct SlotInfo
+    {
+        bool remote = false;
+        int node = -1;
+    };
+
     EngineConfig _cfg;
     ChipMemory _chip;
+    std::vector<SlotInfo> _slots;
     pcie::PcieUpstreamIf *_hostUp = nullptr;
     std::vector<std::unique_ptr<FrontFunction>> _functions;
     /** Shared x8 back-end interfaces (one per SSD-slot pair). */

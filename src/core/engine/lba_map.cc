@@ -23,10 +23,16 @@ LbaMapTable::setEntry(std::uint32_t row, std::uint32_t col,
 {
     if (row >= _geom.rows || col >= _geom.entriesPerRow)
         return false;
-    if (chunk_base > kBaseMax || ssd_id > kSsdIdMask)
+    if (chunk_base > _geom.maxChunkBase() || ssd_id > _geom.maxSlotId())
         return false;
     _entries[row * _geom.entriesPerRow + col] =
-        static_cast<std::uint8_t>((chunk_base << kBaseShift) | ssd_id);
+        _geom.wide
+            ? static_cast<std::uint16_t>(
+                  (static_cast<std::uint16_t>(chunk_base)
+                   << kWideBaseShift) |
+                  ssd_id)
+            : static_cast<std::uint16_t>((chunk_base << kBaseShift) |
+                                         ssd_id);
     _validation[row] |= static_cast<std::uint8_t>(1u << col);
     if (sim::Check::paranoid())
         checkInvariants();
@@ -43,13 +49,28 @@ LbaMapTable::invalidate(std::uint32_t row, std::uint32_t col)
         checkInvariants();
 }
 
-std::uint8_t
+std::uint16_t
 LbaMapTable::rawEntry(std::uint32_t row, std::uint32_t col) const
 {
     BMS_ASSERT(row < _geom.rows && col < _geom.entriesPerRow,
                "entry (", row, ",", col, ") outside ", _geom.rows, "x",
                _geom.entriesPerRow, " table");
     return _entries[row * _geom.entriesPerRow + col];
+}
+
+std::uint8_t
+LbaMapTable::entrySlot(std::uint32_t row, std::uint32_t col) const
+{
+    std::uint16_t entry = rawEntry(row, col);
+    return static_cast<std::uint8_t>(
+        _geom.wide ? entry & kWideSsdIdMask : entry & kSsdIdMask);
+}
+
+std::uint32_t
+LbaMapTable::entryBase(std::uint32_t row, std::uint32_t col) const
+{
+    std::uint16_t entry = rawEntry(row, col);
+    return _geom.wide ? entry >> kWideBaseShift : entry >> kBaseShift;
 }
 
 std::uint8_t
@@ -77,11 +98,17 @@ LbaMapTable::translate(std::uint64_t host_lba) const
         return std::nullopt;
     if (!(_validation[row] & (1u << col)))
         return std::nullopt;
-    std::uint8_t entry =
+    std::uint16_t entry =
         _entries[row * _geom.entriesPerRow + col];
     LbaMapping m;
-    m.ssdId = entry & kSsdIdMask;                                // Eq. (3)
-    std::uint64_t base = entry >> kBaseShift;
+    std::uint64_t base;
+    if (_geom.wide) {
+        m.ssdId = static_cast<std::uint8_t>(entry & kWideSsdIdMask);
+        base = entry >> kWideBaseShift;
+    } else {
+        m.ssdId = static_cast<std::uint8_t>(entry & kSsdIdMask); // Eq. (3)
+        base = entry >> kBaseShift;
+    }
     m.physLba = base * _geom.chunkBlocks +
                 host_lba % _geom.chunkBlocks;                    // Eq. (4)
     return m;
@@ -116,9 +143,10 @@ LbaMapTable::validCount() const
 void
 LbaMapTable::checkInvariants() const
 {
-    // Valid (ssd, chunk base) pairs, for the overlap check below. The
-    // whole space is 2 bits x 6 bits = 256 combinations.
-    bool seen[256] = {};
+    // Valid (slot, chunk base) pairs, for the overlap check below.
+    // Narrow entries span 2+6 bits, wide 4+8; the packed entry value
+    // is a unique key for the pair in either format.
+    std::vector<bool> seen(_geom.wide ? 1u << 16 : 1u << 8, false);
     for (std::uint32_t row = 0; row < _geom.rows; ++row) {
         BMS_ASSERT_EQ(_validation[row] >> _geom.entriesPerRow, 0,
                       "validation vector of row ", row,
@@ -127,11 +155,11 @@ LbaMapTable::checkInvariants() const
         for (std::uint32_t col = 0; col < _geom.entriesPerRow; ++col) {
             if (!(_validation[row] & (1u << col)))
                 continue;
-            std::uint8_t entry = _entries[row * _geom.entriesPerRow + col];
+            std::uint16_t entry = _entries[row * _geom.entriesPerRow + col];
             if (seen[entry]) {
                 BMS_PANIC("two valid entries map the same chunk: ssd=",
-                          entry & kSsdIdMask, " base=",
-                          entry >> kBaseShift, " (second at row=", row,
+                          entrySlot(row, col), " base=",
+                          entryBase(row, col), " (second at row=", row,
                           " col=", col, ")");
             }
             seen[entry] = true;

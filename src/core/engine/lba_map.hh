@@ -3,19 +3,30 @@
  * LBA Mapping Table — paper Fig. 4(a) and Eqs. (1)-(4).
  *
  * Each namespace owns one mapping table: a two-dimensional array of
- * 8-bit mapping entries (rows x entries-per-row, default 8 x 8) plus
- * one 8-bit validation vector per row. A mapping entry packs a 6-bit
- * chunk base (physical chunk index on the target SSD) and a 2-bit
- * SSD id. Back-end capacity is carved into fixed chunks (64 GiB in
- * production).
+ * mapping entries (rows x entries-per-row, default 8 x 8) plus one
+ * 8-bit validation vector per row. Back-end capacity is carved into
+ * fixed chunks (64 GiB in production).
+ *
+ * Two entry formats exist:
+ *
+ *  - **narrow** (default, bit-accurate to Fig. 4(a)): 8-bit entries
+ *    packing a 6-bit chunk base (physical chunk index on the target
+ *    SSD) and a 2-bit SSD id — four local back-end slots.
+ *  - **wide** (disaggregated tier, §VI-D extension): 16-bit entries
+ *    packing an 8-bit chunk base and a 4-bit slot id, so a chunk can
+ *    resolve to one of 16 back-end slots. Slots beyond the local
+ *    SSDs address remote storage-node volumes (the engine's slot
+ *    catalog maps slot → (node, volume)), which is how a mapping
+ *    entry names a (node, ssd, chunk) location while translation
+ *    stays a single table lookup.
  *
  * Translation of a host LBA (HL) with chunk size CS (in blocks) and
  * EN entries per row:
  *
  *   i      = (HL / CS) / EN          -- Eq. (1), row
  *   j      = (HL / CS) mod EN        -- Eq. (2), column
- *   SSD_ID = MT[i][j][1:0]           -- Eq. (3)
- *   PL     = MT[i][j][7:2] * CS + HL mod CS   -- Eq. (4)
+ *   SSD_ID = MT[i][j][1:0]           -- Eq. (3)  (wide: [3:0])
+ *   PL     = MT[i][j][7:2] * CS + HL mod CS   -- Eq. (4)  (wide: [15:4])
  */
 
 #ifndef BMS_CORE_ENGINE_LBA_MAP_HH
@@ -37,6 +48,13 @@ struct LbaMapGeometry
     std::uint32_t entriesPerRow = 8;
     /** Chunk size in logical blocks (64 GiB of 4 KiB blocks). */
     std::uint64_t chunkBlocks = sim::gib(64) / nvme::kBlockSize;
+    /** 16-bit entries: 4-bit slot id + 8-bit chunk base (remote tier). */
+    bool wide = false;
+
+    /** Largest slot id an entry can hold in this geometry. */
+    std::uint8_t maxSlotId() const { return wide ? 0x0f : 0x03; }
+    /** Largest chunk base an entry can hold in this geometry. */
+    std::uint32_t maxChunkBase() const { return wide ? 0xff : 0x3f; }
 
     /** Largest host LBA space this geometry can map, in blocks. */
     std::uint64_t
@@ -73,8 +91,15 @@ class LbaMapTable
     /** Clear the validation bit of (@p row, @p col). */
     void invalidate(std::uint32_t row, std::uint32_t col);
 
-    /** Raw 8-bit entry (tests / AXI readback). */
-    std::uint8_t rawEntry(std::uint32_t row, std::uint32_t col) const;
+    /** Raw packed entry (tests / AXI readback): 8 significant bits in
+     *  narrow mode, 16 in wide mode. */
+    std::uint16_t rawEntry(std::uint32_t row, std::uint32_t col) const;
+
+    /** Decoded back-end slot id of entry (@p row, @p col). */
+    std::uint8_t entrySlot(std::uint32_t row, std::uint32_t col) const;
+
+    /** Decoded chunk base of entry (@p row, @p col). */
+    std::uint32_t entryBase(std::uint32_t row, std::uint32_t col) const;
 
     /** Raw validation vector of @p row. */
     std::uint8_t validationVector(std::uint32_t row) const;
@@ -114,9 +139,11 @@ class LbaMapTable
     static constexpr std::uint8_t kSsdIdMask = 0x03;  // bits [1:0]
     static constexpr std::uint8_t kBaseShift = 2;     // bits [7:2]
     static constexpr std::uint8_t kBaseMax = 0x3f;    // 6 bits
+    static constexpr std::uint16_t kWideSsdIdMask = 0x0f; // bits [3:0]
+    static constexpr std::uint8_t kWideBaseShift = 4;     // bits [15:4]
 
     LbaMapGeometry _geom;
-    std::vector<std::uint8_t> _entries;    // rows * entriesPerRow
+    std::vector<std::uint16_t> _entries;   // rows * entriesPerRow
     std::vector<std::uint8_t> _validation; // one vector per row
 };
 

@@ -13,6 +13,30 @@ MigrationGate::MigrationGate(sim::Simulator &sim, std::string name)
     registerStat("mirroredWrites", [this] { return double(_mirrored); });
     registerStat("heldWrites", [this] { return double(_heldTotal); });
     registerStat("dirtyRequeues", [this] { return double(_dirtyRequeues); });
+    registerStat("tierMirroredWrites",
+                 [this] { return double(_tierMirrored); });
+}
+
+void
+MigrationGate::setTierMirror(std::uint8_t src_slot, std::uint32_t src_chunk,
+                             std::uint8_t dst_slot, std::uint32_t dst_chunk)
+{
+    std::uint32_t key = chunkKey(src_slot, src_chunk);
+    BMS_ASSERT(!_tierMirrors.count(key),
+               "tier mirror already set for slot ", int(src_slot),
+               " chunk ", src_chunk);
+    _tierMirrors.emplace(key, TierTarget{dst_slot, dst_chunk});
+}
+
+void
+MigrationGate::clearTierMirror(std::uint8_t src_slot,
+                               std::uint32_t src_chunk)
+{
+    std::uint32_t key = chunkKey(src_slot, src_chunk);
+    BMS_ASSERT(_tierMirrors.count(key),
+               "clearing an unset tier mirror for slot ", int(src_slot),
+               " chunk ", src_chunk);
+    _tierMirrors.erase(key);
 }
 
 bool
@@ -109,13 +133,54 @@ MigrationGate::admitNow(bool is_write, std::vector<PhysExtent> extents,
         }
     }
 
+    if (is_write && !_tierMirrors.empty()) {
+        std::size_t mig_legs = mirrors.size();
+        for (const PhysExtent &e : extents) {
+            auto it = _tierMirrors.find(
+                chunkKey(e.ssdId, e.physLba / chunk_blocks));
+            if (it == _tierMirrors.end())
+                continue;
+            std::uint64_t off = e.physLba % chunk_blocks;
+            mirrors.push_back(PhysExtent{
+                it->second.slot,
+                std::uint64_t(it->second.chunk) * chunk_blocks + off,
+                e.byteOffset, e.blocks, /*strict=*/true});
+        }
+        if (mirrors.size() > mig_legs) {
+            ++_tierMirrored;
+            // During a promote the migration destination IS the
+            // shadow: a write may grow both a best-effort migration
+            // mirror and a strict tier leg for the same physical
+            // range. Keep only the strict one (one submission; its
+            // failure both fails the write and dirty-requeues).
+            auto same = [&](const PhysExtent &a) {
+                for (std::size_t i = mig_legs; i < mirrors.size(); ++i) {
+                    const PhysExtent &s = mirrors[i];
+                    if (!a.strict && s.ssdId == a.ssdId &&
+                        s.physLba == a.physLba && s.blocks == a.blocks)
+                        return true;
+                }
+                return false;
+            };
+            for (std::size_t i = 0; i < mig_legs;) {
+                if (same(mirrors[i])) {
+                    mirrors.erase(mirrors.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+                    --mig_legs;
+                } else {
+                    ++i;
+                }
+            }
+        }
+    }
+
     for (const PhysExtent &e : extents) {
         std::uint32_t key = chunkKey(e.ssdId, e.physLba / chunk_blocks);
         rec.chunkKeys.push_back(key);
         ++_chunkInflight[key];
     }
     for (const PhysExtent &m : mirrors) {
-        std::uint32_t key = chunkKey(m.ssdId, m.physLba / _chunkBlocks);
+        std::uint32_t key = chunkKey(m.ssdId, m.physLba / chunk_blocks);
         rec.chunkKeys.push_back(key);
         ++_chunkInflight[key];
     }

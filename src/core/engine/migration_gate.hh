@@ -47,6 +47,13 @@ struct PhysExtent
     std::uint64_t physLba = 0;
     std::uint64_t byteOffset = 0; ///< offset within the transfer
     std::uint64_t blocks = 0;
+    /**
+     * A strict mirror leg must succeed for the command to succeed
+     * (tier shadow copies, where the mirror is the recovery image);
+     * ordinary migration mirrors are best-effort (dirty re-queue on
+     * failure). Only meaningful on mirror legs.
+     */
+    bool strict = false;
 };
 
 /** In-flight fencing + write mirroring for live chunk migration. */
@@ -110,6 +117,23 @@ class MigrationGate : public sim::SimObject
                        std::function<void()> idle);
     /// @}
 
+    /** @name Tier shadow mirrors (TieringManager). */
+    /// @{
+    /**
+     * Every write landing on (src_slot, src_chunk) — a spilled
+     * chunk's remote primary — also carries a strict mirror leg to
+     * (dst_slot, dst_chunk), its local shadow, until cleared. Unlike
+     * migration mirrors these persist across migrations and must
+     * succeed for the tenant write to succeed: the shadow is the
+     * loss-recovery image, so it may never silently fall behind.
+     */
+    void setTierMirror(std::uint8_t src_slot, std::uint32_t src_chunk,
+                       std::uint8_t dst_slot, std::uint32_t dst_chunk);
+    void clearTierMirror(std::uint8_t src_slot, std::uint32_t src_chunk);
+    std::size_t tierMirrorCount() const { return _tierMirrors.size(); }
+    std::uint64_t tierMirroredWrites() const { return _tierMirrored; }
+    /// @}
+
     /** @name Introspection. */
     /// @{
     bool migrationActive() const { return _active; }
@@ -158,8 +182,18 @@ class MigrationGate : public sim::SimObject
     void releaseHeld();
     void fireIdleWaiters(std::uint32_t key);
 
+    /** Local shadow target of one spilled chunk. */
+    struct TierTarget
+    {
+        std::uint8_t slot = 0;
+        std::uint32_t chunk = 0;
+    };
+
     // Always-on in-flight accounting.
     std::unordered_map<std::uint64_t, Rec> _recs;
+    /** Spilled-chunk key → local shadow (persists across migrations). */
+    std::unordered_map<std::uint32_t, TierTarget> _tierMirrors;
+    std::uint64_t _tierMirrored = 0;
     std::uint64_t _nextToken = 1;
     std::unordered_map<std::uint32_t, std::uint32_t> _chunkInflight;
     std::vector<std::pair<std::uint32_t, std::function<void()>>>

@@ -83,6 +83,9 @@ TargetController::forward(FrontFunction &fn, const Sqe &sqe,
         }
         extents.push_back(PhysExtent{mapping->ssdId, mapping->physLba,
                                      byte_off, blocks});
+        _heatBytes[heatKey(binding.key(),
+                           static_cast<std::uint32_t>(lba / chunk_blocks))] +=
+            blocks * nvme::kBlockSize;
         lba += blocks;
         remaining -= blocks;
         byte_off += blocks * nvme::kBlockSize;
@@ -179,6 +182,16 @@ TargetController::dispatch(FrontFunction &fn, const Sqe &sqe,
             *mirror_ok = false;
         finish();
     };
+    // A strict (tier shadow) leg is the loss-recovery image: its
+    // failure both fails the tenant write and dirties the touched
+    // segments, so neither side silently diverges.
+    auto on_strict_cqe = [worst, mirror_ok, finish](const nvme::Cqe &cqe) {
+        if (!cqe.ok()) {
+            *worst = cqe.status();
+            *mirror_ok = false;
+        }
+        finish();
+    };
 
     const bool single = extents.size() == 1;
     auto build_sqe = [this, &sqe, fn_id, single,
@@ -257,11 +270,23 @@ TargetController::dispatch(FrontFunction &fn, const Sqe &sqe,
         HostAdaptor &ad = _engine.adaptor(m.ssdId);
         if (!ad.ready()) {
             *mirror_ok = false;
+            if (m.strict)
+                *worst = Status::NamespaceNotReady;
             finish();
             continue;
         }
-        ad.submitIo(build_sqe(m), on_mirror_cqe);
+        ad.submitIo(build_sqe(m),
+                    m.strict ? HostAdaptor::CqeHandler(on_strict_cqe)
+                             : HostAdaptor::CqeHandler(on_mirror_cqe));
     }
+}
+
+std::unordered_map<std::uint64_t, std::uint64_t>
+TargetController::drainHeat()
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> out;
+    out.swap(_heatBytes);
+    return out;
 }
 
 void
@@ -269,12 +294,14 @@ TargetController::forwardFlush(FrontFunction &fn, const Sqe &sqe,
                                std::uint16_t sqid, NsBinding &binding)
 {
     // Flush every back-end SSD this namespace has a chunk on.
-    bool used[4] = {false, false, false, false};
+    std::vector<bool> used(static_cast<std::size_t>(_engine.ssdSlots()),
+                           false);
     const LbaMapGeometry &g = binding.map.geometry();
     for (std::uint32_t r = 0; r < g.rows; ++r)
         for (std::uint32_t c = 0; c < g.entriesPerRow; ++c)
             if (binding.map.entryValid(r, c))
-                used[binding.map.rawEntry(r, c) & 0x03] = true;
+                used[static_cast<std::size_t>(
+                    binding.map.entrySlot(r, c))] = true;
 
     std::size_t targets = 0;
     for (bool u : used)
@@ -286,7 +313,7 @@ TargetController::forwardFlush(FrontFunction &fn, const Sqe &sqe,
 
     auto remaining = std::make_shared<std::size_t>(targets);
     std::uint16_t cid = sqe.cid;
-    for (int s = 0; s < 4 && s < _engine.ssdSlots(); ++s) {
+    for (int s = 0; s < _engine.ssdSlots(); ++s) {
         if (!used[s])
             continue;
         Sqe bsqe = sqe;

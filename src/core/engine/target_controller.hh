@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/engine/engine_config.hh"
@@ -51,6 +52,23 @@ class TargetController : public sim::SimObject
     std::uint64_t errorCompletions() const { return _errors; }
     /// @}
 
+    /** @name Per-chunk access heat (I/O monitor / tiering). */
+    /// @{
+    /** Key: (QoS key << 32) | logical chunk index within the ns. */
+    static std::uint64_t
+    heatKey(std::uint32_t qos_key, std::uint32_t chunk)
+    {
+        return (static_cast<std::uint64_t>(qos_key) << 32) | chunk;
+    }
+
+    /**
+     * Bytes accessed per (fn, nsid, logical chunk) since the last
+     * drain; counted at translate time so remote and local chunks
+     * score identically. Clears the accumulator.
+     */
+    std::unordered_map<std::uint64_t, std::uint64_t> drainHeat();
+    /// @}
+
   private:
     void forward(FrontFunction &fn, const nvme::Sqe &sqe,
                  std::uint16_t sqid, NsBinding &binding);
@@ -65,6 +83,7 @@ class TargetController : public sim::SimObject
               nvme::Status st);
 
     BmsEngine &_engine;
+    std::unordered_map<std::uint64_t, std::uint64_t> _heatBytes;
     std::uint64_t _forwarded = 0;
     std::uint64_t _split = 0;
     std::uint64_t _listsRewritten = 0;

@@ -313,4 +313,74 @@ MgmtConsole::df(Eid ctrl, std::function<void(std::vector<MiDfEntry>)> cb)
             });
 }
 
+void
+MgmtConsole::tierStats(Eid ctrl,
+                       std::function<void(std::optional<MiTierStats>)> cb)
+{
+    request(ctrl, MiOpcode::VendorTierStats, {},
+            [cb = std::move(cb)](const MiMessage &resp) {
+                if (resp.status != MiStatus::Success) {
+                    cb(std::nullopt);
+                    return;
+                }
+                wire::Reader r(resp.payload);
+                MiTierStats s;
+                s.spills = r.u32();
+                s.promotes = r.u32();
+                s.failures = r.u32();
+                s.nodeLosses = r.u32();
+                s.chunksRecovered = r.u32();
+                s.chunksRespilled = r.u32();
+                std::uint16_t n = r.u16();
+                for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+                    MiSpilledChunk c;
+                    c.fn = r.u8();
+                    c.nsid = r.u32();
+                    c.chunkIndex = r.u32();
+                    c.remoteSlot = r.u8();
+                    c.remoteChunk = r.u8();
+                    c.shadowSlot = r.u8();
+                    c.shadowChunk = r.u8();
+                    c.heatMbps = r.f64();
+                    if (r.ok())
+                        s.spilled.push_back(c);
+                }
+                cb(r.ok() ? std::optional<MiTierStats>(std::move(s))
+                          : std::nullopt);
+            });
+}
+
+void
+MgmtConsole::setTierPolicy(Eid ctrl, double spill_mbps,
+                           double promote_mbps, std::uint64_t period_ns,
+                           std::function<void(bool)> cb)
+{
+    wire::Writer w;
+    w.f64(spill_mbps);
+    w.f64(promote_mbps);
+    w.u64(period_ns);
+    request(ctrl, MiOpcode::VendorSetTierPolicy, w.take(),
+            [cb = std::move(cb)](const MiMessage &resp) {
+                cb(resp.status == MiStatus::Success);
+            });
+}
+
+void
+MgmtConsole::failNode(Eid ctrl, std::uint8_t node,
+                      std::function<void(MiFailNodeResult)> cb)
+{
+    wire::Writer w;
+    w.u8(node);
+    request(ctrl, MiOpcode::VendorFailNode, w.take(),
+            [cb = std::move(cb)](const MiMessage &resp) {
+                MiFailNodeResult res;
+                wire::Reader r(resp.payload);
+                res.ok = r.u8() != 0 &&
+                         resp.status == MiStatus::Success;
+                res.recovered = r.u32();
+                res.respilled = r.u32();
+                cb(res);
+            });
+}
+
 } // namespace bms::core

@@ -75,6 +75,25 @@ class MgmtConsole : public sim::SimObject
 
     /** Per-SSD chunk occupancy. */
     void df(Eid ctrl, std::function<void(std::vector<MiDfEntry>)> cb);
+
+    /** Tiering counters + spilled-chunk listing with current heat. */
+    void tierStats(Eid ctrl,
+                   std::function<void(std::optional<MiTierStats>)> cb);
+
+    /**
+     * Re-program the tiering policy: spill/promote thresholds (MB/s)
+     * and the automatic-policy period (ns; 0 = manual).
+     */
+    void setTierPolicy(Eid ctrl, double spill_mbps, double promote_mbps,
+                       std::uint64_t period_ns,
+                       std::function<void(bool)> cb);
+
+    /**
+     * Declare storage node @p node dead and recover every chunk it
+     * held onto the local shadows (then re-spill).
+     */
+    void failNode(Eid ctrl, std::uint8_t node,
+                  std::function<void(MiFailNodeResult)> cb);
     /// @}
 
     std::uint64_t requestsSent() const { return _requests; }

@@ -38,6 +38,9 @@ enum class MiOpcode : std::uint8_t
     VendorEvacuate = 0xC8,
     VendorMigrationStatus = 0xC9,
     VendorDf = 0xCA,
+    VendorTierStats = 0xCB,
+    VendorSetTierPolicy = 0xCC,
+    VendorFailNode = 0xCD,
 };
 
 /** NVMe-MI response status. */
@@ -184,6 +187,37 @@ struct MiEvacuateResult
     std::uint32_t moved = 0;
     std::uint32_t failed = 0;
     double elapsedMs = 0.0;
+};
+
+/** One spilled chunk as reported by VendorTierStats. */
+struct MiSpilledChunk
+{
+    std::uint8_t fn = 0;
+    std::uint32_t nsid = 1;
+    std::uint32_t chunkIndex = 0;
+    std::uint8_t remoteSlot = 0, remoteChunk = 0;
+    std::uint8_t shadowSlot = 0, shadowChunk = 0;
+    double heatMbps = 0.0;
+};
+
+/** Tiering counters + spilled-chunk listing (VendorTierStats). */
+struct MiTierStats
+{
+    std::uint32_t spills = 0;
+    std::uint32_t promotes = 0;
+    std::uint32_t failures = 0;
+    std::uint32_t nodeLosses = 0;
+    std::uint32_t chunksRecovered = 0;
+    std::uint32_t chunksRespilled = 0;
+    std::vector<MiSpilledChunk> spilled;
+};
+
+/** Storage-node loss recovery outcome (VendorFailNode response). */
+struct MiFailNodeResult
+{
+    bool ok = false;
+    std::uint32_t recovered = 0;
+    std::uint32_t respilled = 0;
 };
 
 /** One migration's progress (VendorMigrationStatus response). */

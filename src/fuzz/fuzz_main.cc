@@ -5,7 +5,7 @@
  *   fuzz [--seed=N | --seeds=A:B] [--horizon-ms=N] [--max-tenants=N]
  *        [--max-ssds=N] [--min-ssds=N] [--no-faults] [--no-control]
  *        [--no-upgrade] [--no-migration] [--force-migration]
- *        [--paranoid] [--log=LEVEL]
+ *        [--remote-nodes=N] [--force-tiering] [--paranoid] [--log=LEVEL]
  *
  * BMS_FUZZ_SEED=N is equivalent to --seed=N (repro from CI logs).
  * Exits nonzero on the first failing seed, after printing the seed
@@ -54,6 +54,15 @@ printReport(const fuzz::FuzzReport &r)
                 r.migrationsAborted, r.migrationsRejected, r.evacuations,
                 static_cast<double>(r.migratedBytes) / 1e6,
                 sim::toMs(r.maxCompletionGap));
+    if (r.remoteNodes > 0) {
+        std::printf("  remote: nodes=%d spills=%u promotes=%u "
+                    "tier-failures=%u node-losses=%u recovered=%u "
+                    "respilled=%u timeouts=%llu retries=%llu\n",
+                    r.remoteNodes, r.spills, r.promotes, r.tierFailures,
+                    r.nodeLosses, r.chunksRecovered, r.chunksRespilled,
+                    static_cast<unsigned long long>(r.remoteTimeouts),
+                    static_cast<unsigned long long>(r.remoteRetries));
+    }
 }
 
 } // namespace
@@ -103,6 +112,10 @@ main(int argc, char **argv)
             cfg.enableMigration = false;
         } else if (std::strcmp(a, "--force-migration") == 0) {
             cfg.forceMigration = true;
+        } else if (parseU64(a, "--remote-nodes=", v)) {
+            cfg.maxRemoteNodes = static_cast<int>(v);
+        } else if (std::strcmp(a, "--force-tiering") == 0) {
+            cfg.forceTiering = true;
         } else if (std::strncmp(a, "--paranoid", 10) == 0 ||
                    std::strncmp(a, "--log=", 6) == 0) {
             // handled by applyCommonFlags

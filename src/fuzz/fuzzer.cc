@@ -22,6 +22,10 @@ Fuzzer::Fuzzer(FuzzConfig cfg) : _cfg(cfg), _log(cfg.opLogCapacity)
                "minSsds must be in [1, maxSsds]: ", _cfg.minSsds);
     BMS_ASSERT(_cfg.horizon >= sim::milliseconds(10),
                "horizon too short to schedule control ops");
+    BMS_ASSERT(_cfg.maxRemoteNodes >= 0 && _cfg.maxRemoteNodes <= 4,
+               "remote nodes must be in [0, 4]: ", _cfg.maxRemoteNodes);
+    BMS_ASSERT(!_cfg.forceTiering || _cfg.maxRemoteNodes >= 1,
+               "forceTiering needs maxRemoteNodes >= 1");
 }
 
 Fuzzer::~Fuzzer() = default;
@@ -301,9 +305,11 @@ Fuzzer::scheduleMigrations(sim::Rng &rng)
             sim.scheduleAt(at, [this, &console, eid] {
                 _log.record(_bed->sim().now(), "ctrl df");
                 console.df(eid, [this](std::vector<core::MiDfEntry> df) {
+                    int slots =
+                        _bed->ssdCount() +
+                        _bed->remoteNodes() * _bed->config().volumesPerNode;
                     BMS_ASSERT_EQ(df.size(),
-                                  static_cast<std::size_t>(
-                                      _bed->ssdCount()),
+                                  static_cast<std::size_t>(slots),
                                   "df must report every slot");
                     ++_controlOps;
                     --_pendingControl;
@@ -443,6 +449,158 @@ Fuzzer::scheduleFaultWindows(sim::Rng &rng)
 }
 
 void
+Fuzzer::scheduleTiering(sim::Rng &rng)
+{
+    if (_bed->remoteNodes() == 0)
+        return;
+    sim::Simulator &sim = _bed->sim();
+    core::MgmtConsole &console = _bed->console();
+    core::Eid eid = _bed->controller().endpoint().eid();
+    core::TieringManager &tier = _bed->controller().tiering();
+    auto hz = static_cast<double>(_cfg.horizon);
+
+    // Spills: pinned runs open with tenant 0's chunk 0 onto node 0,
+    // so the forced node loss below has a spilled chunk to recover.
+    int spills = _cfg.forceTiering
+                     ? 2
+                     : static_cast<int>(rng.uniformInt(0, 2));
+    for (int i = 0; i < spills; ++i) {
+        bool pinned = _cfg.forceTiering && i == 0;
+        auto tenant_ix =
+            pinned ? 0 : rng.uniformInt(0, _tenants.size() - 1);
+        auto fn = _tenants[tenant_ix].fn;
+        auto chunk_ix =
+            pinned ? 0u
+                   : static_cast<std::uint32_t>(rng.uniformInt(0, 1));
+        int slot = pinned ? _bed->remoteSlot(0, 0) : -1;
+        sim::Tick at = _start + static_cast<sim::Tick>(
+                                    (pinned ? 0.05
+                                            : rng.uniformDouble(0.05, 0.3)) *
+                                    hz);
+        ++_pendingControl;
+        sim.scheduleAt(at, [this, &tier, fn, chunk_ix, slot] {
+            _log.record(_bed->sim().now(),
+                        "tier spill fn=" + std::to_string(fn) +
+                            " chunk=" + std::to_string(chunk_ix));
+            // May fail legally: chunk past the namespace end, remote
+            // slot full, recovery in progress, or the copy aborted.
+            tier.spill(fn, 1, chunk_ix, slot, [this](bool) {
+                ++_controlOps;
+                --_pendingControl;
+            });
+        });
+    }
+
+    // Promotes: the pinned one lands after the recovery window and
+    // pulls the re-spilled chunk back local; random ones are legal
+    // rejections when the chunk is not spilled.
+    int promotes = _cfg.forceTiering
+                       ? 1
+                       : static_cast<int>(rng.uniformInt(0, 2));
+    for (int i = 0; i < promotes; ++i) {
+        bool pinned = _cfg.forceTiering && i == 0;
+        auto tenant_ix =
+            pinned ? 0 : rng.uniformInt(0, _tenants.size() - 1);
+        auto fn = _tenants[tenant_ix].fn;
+        auto chunk_ix =
+            pinned ? 0u
+                   : static_cast<std::uint32_t>(rng.uniformInt(0, 1));
+        sim::Tick at = _start + static_cast<sim::Tick>(
+                                    (pinned ? 0.85
+                                            : rng.uniformDouble(0.3, 0.8)) *
+                                    hz);
+        ++_pendingControl;
+        sim.scheduleAt(at, [this, &tier, fn, chunk_ix] {
+            _log.record(_bed->sim().now(),
+                        "tier promote fn=" + std::to_string(fn) +
+                            " chunk=" + std::to_string(chunk_ix));
+            tier.promote(fn, 1, chunk_ix, [this](bool) {
+                ++_controlOps;
+                --_pendingControl;
+            });
+        });
+    }
+
+    // Sometimes hand placement to the automatic heat policy too (the
+    // post-horizon drain disarms it again).
+    if (_cfg.forceTiering || rng.chance(0.5)) {
+        sim::Tick at = _start + static_cast<sim::Tick>(0.1 * hz);
+        ++_pendingControl;
+        sim.scheduleAt(at, [this, &console, eid] {
+            _log.record(_bed->sim().now(), "ctrl setTierPolicy");
+            console.setTierPolicy(
+                eid, 0.5, 8.0, sim::milliseconds(10), [this](bool ok) {
+                    BMS_ASSERT(ok, "setTierPolicy verb failed");
+                    ++_controlOps;
+                    --_pendingControl;
+                });
+        });
+    }
+
+    // Link latency spikes: network fault injection, so failed tenant
+    // I/Os (timeout exhaustion) are excused exactly like media-fault
+    // windows. Kept well under the 250 ms request timeout so a lone
+    // spike delays rather than kills a healthy request.
+    int windows = static_cast<int>(rng.uniformInt(0, 2));
+    for (int w = 0; w < windows; ++w) {
+        int node = static_cast<int>(
+            rng.uniformInt(0, _bed->remoteNodes() - 1));
+        sim::Tick t0 = _start + static_cast<sim::Tick>(
+                                    rng.uniformDouble(0.1, 0.6) * hz);
+        sim::Tick t1 = t0 + static_cast<sim::Tick>(
+                                rng.uniformDouble(0.05, 0.2) * hz);
+        sim::Tick extra = sim::milliseconds(1 + rng.uniformInt(0, 49));
+        sim.scheduleAt(t0, [this, node, extra] {
+            _log.record(_bed->sim().now(),
+                        "net spike OPEN node=" + std::to_string(node));
+            ++_faultWindows;
+            _faultsEverActive = true;
+            _bed->link(node).setExtraDelay(extra);
+            for (Tenant &t : _tenants)
+                t.oracle->setFaultsActive(true);
+        });
+        sim.scheduleAt(t1, [this, node] {
+            _log.record(_bed->sim().now(),
+                        "net spike CLOSE node=" + std::to_string(node));
+            _bed->link(node).setExtraDelay(0);
+        });
+    }
+
+    // Storage-node loss: the torture centerpiece. The node model
+    // starts dropping everything, tenant I/O to it errors out via
+    // client timeouts (excused — this IS a fault), and the failNode
+    // verb drives recovery: every spilled chunk flips to its local
+    // shadow with zero data loss, then re-spills to survivors.
+    if (_cfg.forceTiering || rng.chance(0.3)) {
+        int node = _cfg.forceTiering
+                       ? 0
+                       : static_cast<int>(rng.uniformInt(
+                             0, _bed->remoteNodes() - 1));
+        sim::Tick at = _start + static_cast<sim::Tick>(
+                                    (_cfg.forceTiering
+                                         ? 0.55
+                                         : rng.uniformDouble(0.4, 0.7)) *
+                                    hz);
+        ++_pendingControl;
+        sim.scheduleAt(at, [this, &console, eid, node] {
+            _log.record(_bed->sim().now(),
+                        "tier failNode node=" + std::to_string(node));
+            ++_faultWindows;
+            _faultsEverActive = true;
+            for (Tenant &t : _tenants)
+                t.oracle->setFaultsActive(true);
+            console.failNode(
+                eid, static_cast<std::uint8_t>(node),
+                [this](core::MiFailNodeResult r) {
+                    BMS_ASSERT(r.ok, "failNode verb failed");
+                    ++_controlOps;
+                    --_pendingControl;
+                });
+        });
+    }
+}
+
+void
 Fuzzer::drain(const char *stage, const std::function<bool()> &done,
               sim::Tick timeout)
 {
@@ -522,6 +680,31 @@ Fuzzer::run()
     // a whole-chunk copy fits inside the simulated horizon.
     if (_cfg.enableMigration)
         tb.chunkBytes = sim::mib(8ull << rng.uniformInt(0, 2));
+    // Remote tier: everything remote draws from its own forked
+    // stream, so seeds predating the tier keep their exact topology
+    // and schedule draws whether or not it is enabled.
+    sim::Rng remote_rng(_cfg.seed ^ 0x7e11'ca57'0ff5ULL);
+    if (_cfg.maxRemoteNodes > 0) {
+        tb.remoteNodes =
+            _cfg.forceTiering
+                ? _cfg.maxRemoteNodes
+                : 1 + static_cast<int>(remote_rng.uniformInt(
+                          0, _cfg.maxRemoteNodes - 1));
+        tb.volumesPerNode =
+            1 + static_cast<int>(remote_rng.uniformInt(0, 1));
+        tb.remoteServer.ssd.functionalData = true;
+        // Tier moves need migration-scale chunks even when local
+        // migrations are off: a 64 MiB remote volume holds zero of
+        // the default 64 GiB chunks.
+        if (tb.chunkBytes == 0)
+            tb.chunkBytes = sim::mib(8ull << remote_rng.uniformInt(0, 2));
+        // Pinned runs need the opening spill to complete before the
+        // node loss lands: 8 MiB at the 400 MB/s copy budget is
+        // ~21 ms, which fits ahead of a loss at 55% of a 120 ms
+        // horizon (32 MiB would not).
+        if (_cfg.forceTiering)
+            tb.chunkBytes = sim::mib(8);
+    }
     _bed = std::make_unique<harness::BmStoreTestbed>(tb);
     _start = _bed->sim().now();
     _log.record(_start, "run start: seed=" + std::to_string(_cfg.seed) +
@@ -536,8 +719,17 @@ Fuzzer::run()
     scheduleUpgrades(rng);
     scheduleMigrations(rng);
     scheduleFaultWindows(rng);
+    scheduleTiering(remote_rng);
 
     _bed->sim().runUntil(_start + _cfg.horizon);
+
+    if (_bed->remoteNodes() > 0) {
+        // Disarm the automatic tier policy: a periodic tick could
+        // start fresh moves forever and the drain would never settle.
+        core::TieringConfig off = _bed->controller().tiering().policy();
+        off.policyPeriod = 0;
+        _bed->controller().tiering().setPolicy(off);
+    }
 
     // Stop tenants and wait out everything in flight — including I/O
     // latched across a multi-second firmware activation stall.
@@ -553,10 +745,23 @@ Fuzzer::run()
     drain("migration drain",
           [this] { return _bed->controller().migration().idle(); },
           sim::seconds(40));
+    if (_bed->remoteNodes() > 0) {
+        // Tier moves (including the post-loss respill chain) run
+        // through the migration manager too; wait them out, then
+        // re-check the migration queue they may have refilled.
+        drain("tiering drain",
+              [this] { return _bed->controller().tiering().idle(); },
+              sim::seconds(40));
+        drain("tier-move migration drain",
+              [this] { return _bed->controller().migration().idle(); },
+              sim::seconds(40));
+    }
     finalSweep();
 
     // Whole-structure checks after the dust settles.
-    for (int s = 0; s < _bed->ssdCount(); ++s)
+    int total_slots = _bed->ssdCount() +
+                      _bed->remoteNodes() * _bed->config().volumesPerNode;
+    for (int s = 0; s < total_slots; ++s)
         BMS_ASSERT_EQ(_bed->engine().adaptor(s).inflight(), 0u,
                       "adaptor ", s, " left with in-flight commands");
     core::MigrationGate &gate = _bed->engine().migrationGate();
@@ -596,6 +801,20 @@ Fuzzer::run()
     for (int s = 0; s < _bed->ssdCount(); ++s) {
         rep.injectedMediaErrors += _bed->ssd(s).mediaErrors();
         rep.injectedLatencySpikes += _bed->ssd(s).latencySpikes();
+    }
+    rep.remoteNodes = _bed->remoteNodes();
+    const core::TieringManager &tier = _bed->controller().tiering();
+    rep.spills = tier.spills();
+    rep.promotes = tier.promotes();
+    rep.tierFailures = tier.failures();
+    rep.nodeLosses = tier.nodeLosses();
+    rep.chunksRecovered = tier.chunksRecovered();
+    rep.chunksRespilled = tier.chunksRespilled();
+    for (int n2 = 0; n2 < _bed->remoteNodes(); ++n2) {
+        for (int v = 0; v < _bed->config().volumesPerNode; ++v) {
+            rep.remoteTimeouts += _bed->remoteDevice(n2, v).timeouts();
+            rep.remoteRetries += _bed->remoteDevice(n2, v).retries();
+        }
     }
     rep.finishedAt = _bed->sim().now();
 

@@ -13,7 +13,12 @@
  *   - SSD firmware hot-upgrades under load (plus a concurrent-upgrade
  *     rejection probe),
  *   - fault-injection windows (media read/write errors, latency
- *     spikes) on the back-end SSDs.
+ *     spikes) on the back-end SSDs,
+ *   - a disaggregated remote tier (maxRemoteNodes > 0): storage
+ *     nodes behind network links, chunk spills/promotes mid-I/O,
+ *     link latency spikes, and a storage-node loss recovered via the
+ *     failNode verb — the oracle verifies every tenant block across
+ *     all of it.
  *
  * Everything runs on the simulator clock, so a failing seed replays
  * the exact interleaving: `fuzz --seed=N` (or BMS_FUZZ_SEED=N).
@@ -53,6 +58,16 @@ struct FuzzConfig
     bool enableMigration = true;
     /** Always schedule a migrate + an evacuate (pinned seeds). */
     bool forceMigration = false;
+    /**
+     * Remote tier: up to this many storage nodes behind the card
+     * (0 = purely local, the historical topology). All remote
+     * randomness comes from a forked stream, so enabling it does not
+     * disturb the draws of the pre-existing pinned seeds.
+     */
+    int maxRemoteNodes = 0;
+    /** Pin the tier schedule: an early spill onto node 0, a node-0
+     *  loss mid-window, and a late promote (pinned seeds 401-404). */
+    bool forceTiering = false;
     std::size_t opLogCapacity = 256;
 };
 
@@ -77,6 +92,18 @@ struct FuzzReport
     std::uint32_t migrationsRejected = 0;
     std::uint32_t evacuations = 0;
     std::uint64_t migratedBytes = 0;
+    /** @name Remote tier (zero when maxRemoteNodes == 0). */
+    /// @{
+    int remoteNodes = 0;
+    std::uint32_t spills = 0;
+    std::uint32_t promotes = 0;
+    std::uint32_t tierFailures = 0; ///< rejected/aborted tier moves
+    std::uint32_t nodeLosses = 0;
+    std::uint32_t chunksRecovered = 0;
+    std::uint32_t chunksRespilled = 0;
+    std::uint64_t remoteTimeouts = 0;
+    std::uint64_t remoteRetries = 0;
+    /// @}
     /** Longest tenant submit→complete span (upgrade pause shows up
      *  here; must stay under the 30 s host NVMe timeout). */
     sim::Tick maxCompletionGap = 0;
@@ -107,6 +134,7 @@ class Fuzzer
     void scheduleUpgrades(sim::Rng &rng);
     void scheduleMigrations(sim::Rng &rng);
     void scheduleFaultWindows(sim::Rng &rng);
+    void scheduleTiering(sim::Rng &remote_rng);
     void destroyScratch(core::Eid eid, std::uint8_t vf,
                         std::uint32_t nsid, int attempt);
     void drain(const char *stage, const std::function<bool()> &done,

@@ -77,14 +77,20 @@ NativeTestbed::addVfioVm(int disk, virt::VmConfig vm_cfg)
 
 BmStoreTestbed::BmStoreTestbed(const TestbedConfig &cfg) : TestbedBase(cfg)
 {
+    int remote_slots = cfg.remoteNodes * cfg.volumesPerNode;
     core::EngineConfig ecfg = cfg.engine;
-    ecfg.ssdSlots = cfg.ssdCount;
+    ecfg.ssdSlots = cfg.ssdCount + remote_slots;
+    ecfg.perLaneEvents = cfg.perLaneEvents;
     _engine = _sim->make<core::BmsEngine>(*_sim, "bms", ecfg);
     _engineSlot = &_host->addSlot(16);
     _engineSlot->attach(*_engine);
     core::BmsControllerConfig ccfg = cfg.ctrl;
     if (cfg.chunkBytes > 0)
         ccfg.mapGeometry.chunkBlocks = cfg.chunkBytes / nvme::kBlockSize;
+    // A remote tier needs the wide map format: slot ids beyond 4 and
+    // chunk ids beyond 64 only fit in the 16-bit entries.
+    if (remote_slots > 0)
+        ccfg.mapGeometry.wide = true;
     _controller =
         _sim->make<core::BmsController>(*_sim, "bmsc", *_engine, ccfg);
     _channel = _sim->make<core::MctpChannel>(*_sim, "mctp-vdm");
@@ -118,11 +124,50 @@ BmStoreTestbed::BmStoreTestbed(const TestbedConfig &cfg) : TestbedBase(cfg)
         auto *ssd = _sim->make<ssd::SsdDevice>(
             *_sim, "bssd" + std::to_string(i), cfg.ssdConfig(i));
         // Media/controller events for each SSD get a private lane.
-        ssd->setEventLane(_sim->createLane());
+        if (cfg.perLaneEvents)
+            ssd->setEventLane(_sim->createLane());
         _ssds.push_back(ssd);
         _controller->attachBackendSsd(i, *ssd, [&ready] { ++ready; });
     }
-    runUntilTrue([&ready, n = cfg.ssdCount] { return ready == n; });
+
+    // Remote tier: one storage node + link per node, one initiator
+    // device per exported volume, each filling a back-end slot past
+    // the local SSDs.
+    for (int n = 0; n < cfg.remoteNodes; ++n) {
+        remote::StorageServer::Config scfg = cfg.remoteServer;
+        scfg.perLaneEvents = cfg.perLaneEvents;
+        auto *server = _sim->make<remote::StorageServer>(
+            *_sim, "node" + std::to_string(n), scfg);
+        auto *net = _sim->make<remote::NetworkLink>(
+            *_sim, "net" + std::to_string(n), cfg.network);
+        _servers.push_back(server);
+        _links.push_back(net);
+        for (int v = 0; v < cfg.volumesPerNode; ++v) {
+            int vol = server->addVolume(
+                {v % scfg.ssdCount,
+                 static_cast<std::uint64_t>(v / scfg.ssdCount) *
+                     cfg.remoteVolumeBytes,
+                 cfg.remoteVolumeBytes});
+            auto *rdev = _sim->make<remote::RemoteNvmeDevice>(
+                *_sim,
+                "rvol" + std::to_string(n) + "." + std::to_string(v),
+                *net, *server, vol, cfg.remoteClient);
+            _remotes.push_back(rdev);
+            int slot = remoteSlot(n, v);
+            // Mark the slot remote BEFORE attach: registerSsd reads
+            // the catalog when the adaptor reports ready.
+            _engine->setSlotRemote(slot, n);
+            _controller->attachBackendSsd(slot, *rdev,
+                                          [&ready] { ++ready; });
+        }
+    }
+    // Node loss via the failNode verb flips the server model.
+    _controller->setNodeDownHook(
+        [this](int node, bool down) { server(node).setDown(down); });
+
+    runUntilTrue([&ready, n = cfg.ssdCount + remote_slots] {
+        return ready == n;
+    });
     _nextVf = static_cast<pcie::FunctionId>(ecfg.pfCount);
 }
 
@@ -146,7 +191,8 @@ BmStoreTestbed::attachTenant(pcie::FunctionId fn, std::uint64_t bytes,
         *_sim, "tenant.fn" + std::to_string(fn), _host->memory(),
         _host->irq(), *_engineSlot, cpus, fn, dc);
     // Tenant drivers are per-function hot paths: private event lane.
-    drv->setEventLane(_sim->createLane());
+    if (_cfg.perLaneEvents)
+        drv->setEventLane(_sim->createLane());
     bool ready = false;
     drv->init([&ready] { ready = true; });
     runUntilTrue([&ready] { return ready; });

@@ -22,6 +22,9 @@
 #include "core/mgmt/mgmt_console.hh"
 #include "host/host_system.hh"
 #include "host/nvme_driver.hh"
+#include "remote/network.hh"
+#include "remote/remote_device.hh"
+#include "remote/storage_server.hh"
 #include "ssd/ssd_device.hh"
 #include "virt/vm.hh"
 #include "virt/virtio_blk.hh"
@@ -63,6 +66,25 @@ struct TestbedConfig
      * systems.
      */
     bool attachHostDrivers = true;
+
+    /** @name Remote storage tier (BmStoreTestbed only). */
+    /// @{
+    /** Storage nodes behind the card; each gets its own link. */
+    int remoteNodes = 0;
+    /** Volumes exported per node — each takes one back-end slot. */
+    int volumesPerNode = 1;
+    std::uint64_t remoteVolumeBytes = sim::mib(64);
+    remote::StorageServer::Config remoteServer;
+    remote::NetworkProfile network;
+    remote::RemoteClientConfig remoteClient;
+    /// @}
+
+    /**
+     * Per-object event lanes everywhere (engine, SSDs, drivers,
+     * storage nodes). False runs the world on the flat event queue;
+     * the scheduling-equivalence tests compare the two.
+     */
+    bool perLaneEvents = true;
 
     /** Effective SSD config for back-end slot @p slot. */
     const ssd::SsdDevice::Config &
@@ -167,6 +189,23 @@ class BmStoreTestbed : public TestbedBase
     /** Provide fresh spare disks for remote hot-plug commands. */
     void enableSpareDisks();
 
+    /** @name Remote tier topology (cfg.remoteNodes > 0). */
+    /// @{
+    int remoteNodes() const { return static_cast<int>(_servers.size()); }
+    remote::StorageServer &server(int node) { return *_servers.at(node); }
+    remote::NetworkLink &link(int node) { return *_links.at(node); }
+    remote::RemoteNvmeDevice &remoteDevice(int node, int volume)
+    {
+        return *_remotes.at(static_cast<std::size_t>(
+            node * _cfg.volumesPerNode + volume));
+    }
+    /** Back-end slot occupied by @p volume of @p node. */
+    int remoteSlot(int node, int volume) const
+    {
+        return _cfg.ssdCount + node * _cfg.volumesPerNode + volume;
+    }
+    /// @}
+
   private:
     core::BmsEngine *_engine = nullptr;
     core::BmsController *_controller = nullptr;
@@ -174,6 +213,9 @@ class BmStoreTestbed : public TestbedBase
     core::MctpChannel *_channel = nullptr;
     pcie::RootPort *_engineSlot = nullptr;
     std::vector<ssd::SsdDevice *> _ssds;
+    std::vector<remote::StorageServer *> _servers;
+    std::vector<remote::NetworkLink *> _links;
+    std::vector<remote::RemoteNvmeDevice *> _remotes;
     pcie::FunctionId _nextVf;
     int _spareCount = 0;
 };

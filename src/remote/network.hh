@@ -51,8 +51,9 @@ class NetworkLink : public sim::SimObject
         sim::Tick start = now() > busy ? now() : busy;
         busy = start + _profile.bandwidth.delayFor(
                            payload_bytes + _profile.perMessageBytes);
-        sim::Tick arrive = busy + _profile.propagation;
+        sim::Tick arrive = busy + _profile.propagation + _extraDelay;
         _bytes[dir & 1] += payload_bytes;
+        ++_messages[dir & 1];
         sim().scheduleAt(arrive,
                          [delivered = std::move(delivered)] {
                              delivered();
@@ -60,12 +61,26 @@ class NetworkLink : public sim::SimObject
     }
 
     std::uint64_t bytesCarried(int dir) const { return _bytes[dir & 1]; }
+    std::uint64_t messagesCarried(int dir) const
+    {
+        return _messages[dir & 1];
+    }
     const NetworkProfile &profile() const { return _profile; }
+
+    /**
+     * Deterministic latency injection (fault windows): every message
+     * sent while set arrives @p extra later. No internal randomness —
+     * replay stays byte-identical for a fixed fault schedule.
+     */
+    void setExtraDelay(sim::Tick extra) { _extraDelay = extra; }
+    sim::Tick extraDelay() const { return _extraDelay; }
 
   private:
     NetworkProfile _profile;
     sim::Tick _busy[2] = {0, 0};
+    sim::Tick _extraDelay = 0;
     std::uint64_t _bytes[2] = {0, 0};
+    std::uint64_t _messages[2] = {0, 0};
 };
 
 } // namespace bms::remote

@@ -10,9 +10,12 @@ using nvme::Status;
 
 RemoteNvmeDevice::RemoteNvmeDevice(sim::Simulator &sim, std::string name,
                                    NetworkLink &link,
-                                   StorageServer &server, int volume)
-    : SimObject(sim, name), _link(link), _server(server), _volume(volume)
+                                   StorageServer &server, int volume,
+                                   RemoteClientConfig ccfg)
+    : SimObject(sim, name), _link(link), _server(server), _volume(volume),
+      _ccfg(ccfg)
 {
+    BMS_ASSERT(_ccfg.window > 0, "remote client window must be positive");
     nvme::ControllerModel::Config cfg;
     cfg.fn = 0;
     cfg.model = "BMS-REMOTE-VOL";
@@ -21,6 +24,11 @@ RemoteNvmeDevice::RemoteNvmeDevice(sim::Simulator &sim, std::string name,
     ns.nsid = 1;
     ns.sizeBlocks = server.volumeBytes(volume) / nvme::kBlockSize;
     _ctrl->addNamespace(ns);
+
+    registerStat("ios", [this] { return double(_ios); });
+    registerStat("timeouts", [this] { return double(_timeouts); });
+    registerStat("retries", [this] { return double(_retries); });
+    registerStat("exhausted", [this] { return double(_exhausted); });
 }
 
 void
@@ -46,10 +54,44 @@ RemoteNvmeDevice::attached(pcie::PcieUpstreamIf &upstream)
 }
 
 void
-RemoteNvmeDevice::finish(const Sqe &sqe, std::uint16_t sqid, bool ok)
+RemoteNvmeDevice::resolveSegments(
+    const Sqe &sqe, std::function<void(std::vector<nvme::DmaSegment>)> then)
 {
-    _ctrl->complete(sqid, sqe.cid,
-                    ok ? Status::Success : Status::DataTransferError);
+    std::uint64_t len = sqe.dataBytes();
+    if (!nvme::needsPrpList(sqe.prp1, len)) {
+        then(nvme::decodePrp(sqe.prp1, sqe.prp2, len, {}));
+        return;
+    }
+    std::uint32_t entries = nvme::prpPageCount(sqe.prp1, len) - 1;
+    auto raw = std::make_shared<std::vector<std::uint64_t>>(entries);
+    _up->dmaRead(sqe.prp2,
+                 static_cast<std::uint32_t>(entries * sizeof(std::uint64_t)),
+                 reinterpret_cast<std::uint8_t *>(raw->data()),
+                 [sqe, len, raw, then = std::move(then)] {
+                     then(nvme::decodePrp(sqe.prp1, sqe.prp2, len, *raw));
+                 });
+}
+
+void
+RemoteNvmeDevice::dmaSegments(const std::vector<nvme::DmaSegment> &segs,
+                              bool to_host, std::uint8_t *buf,
+                              std::function<void()> done)
+{
+    BMS_ASSERT(!segs.empty(), "DMA with no PRP segments");
+    auto remaining = std::make_shared<std::size_t>(segs.size());
+    auto fire = [remaining, done = std::move(done)] {
+        if (--*remaining == 0)
+            done();
+    };
+    std::uint64_t off = 0;
+    for (const auto &seg : segs) {
+        std::uint8_t *p = buf + off;
+        if (to_host)
+            _up->dmaWrite(seg.addr, seg.len, p, fire);
+        else
+            _up->dmaRead(seg.addr, seg.len, p, fire);
+        off += seg.len;
+    }
 }
 
 void
@@ -62,56 +104,153 @@ RemoteNvmeDevice::executeIo(const Sqe &sqe, std::uint16_t sqid)
         return;
     }
     ++_ios;
-    std::uint64_t len = op == IoOpcode::Flush ? 0 : sqe.dataBytes();
-    std::uint64_t offset = sqe.slba() * nvme::kBlockSize;
 
-    RemoteIo io;
-    io.isFlush = op == IoOpcode::Flush;
-    io.isWrite = op == IoOpcode::Write;
-    io.offset = offset;
-    io.len = static_cast<std::uint32_t>(len);
+    Flight f;
+    f.sqe = sqe;
+    f.sqid = sqid;
+    f.isWrite = op == IoOpcode::Write;
+    f.isFlush = op == IoOpcode::Flush;
+    f.len = f.isFlush ? 0 : sqe.dataBytes();
 
-    if (op == IoOpcode::Write) {
-        // Fetch the payload from upstream memory (host natively, or
-        // routed by the engine when behind BM-Store; timing-only —
-        // remote volumes do not carry functional bytes), then push
-        // command+data over the wire.
-        io.done = [this, sqe, sqid](bool ok) {
-            // Completion message back over the wire.
-            _link.send(1, pcie::kCqeBytes, [this, sqe, sqid, ok] {
-                finish(sqe, sqid, ok);
-            });
-        };
-        _up->dmaRead(sqe.prp1, static_cast<std::uint32_t>(len), nullptr,
-                     [this, len, io = std::move(io)]() mutable {
-                         _link.send(0, pcie::kSqeBytes + len,
-                                    [this, io = std::move(io)]() mutable {
-                                        _server.execute(_volume,
-                                                        std::move(io));
-                                    });
-                     });
+    if (f.isFlush) {
+        enqueue(std::move(f));
         return;
     }
 
-    // Read / flush: command over the wire; data comes back with the
-    // response and is then DMA'd to the upstream buffers.
-    io.done = [this, sqe, sqid, len](bool ok) {
-        std::uint64_t resp = pcie::kCqeBytes + (ok ? len : 0);
-        _link.send(1, resp, [this, sqe, sqid, len, ok] {
-            if (!ok || len == 0) {
-                finish(sqe, sqid, ok);
-                return;
-            }
-            _up->dmaWrite(sqe.prp1, static_cast<std::uint32_t>(len),
-                          nullptr, [this, sqe, sqid] {
-                              finish(sqe, sqid, true);
-                          });
-        });
+    resolveSegments(sqe, [this, f = std::move(f)](
+                             std::vector<nvme::DmaSegment> segs) mutable {
+        f.segs = std::move(segs);
+        f.data =
+            std::make_shared<std::vector<std::uint8_t>>(f.len);
+        if (f.isWrite) {
+            // Gather the payload from upstream memory (host natively,
+            // or chip memory when behind BM-Store), then go on the
+            // wire with command + data. Copy the layout out before f
+            // moves into the continuation (dmaSegments only reads it
+            // during the call itself).
+            std::vector<nvme::DmaSegment> layout = f.segs;
+            std::uint8_t *p = f.data->data();
+            auto cont = [this, f = std::move(f)]() mutable {
+                enqueue(std::move(f));
+            };
+            dmaSegments(layout, false, p, std::move(cont));
+            return;
+        }
+        enqueue(std::move(f));
+    });
+}
+
+void
+RemoteNvmeDevice::enqueue(Flight f)
+{
+    f.attempt = 1;
+    _sendq.push_back(std::move(f));
+    pump();
+}
+
+void
+RemoteNvmeDevice::pump()
+{
+    while (_wireInflight < _ccfg.window && !_sendq.empty()) {
+        Flight f = std::move(_sendq.front());
+        _sendq.pop_front();
+        ++_wireInflight;
+        sendAttempt(std::move(f));
+    }
+}
+
+void
+RemoteNvmeDevice::sendAttempt(Flight f)
+{
+    std::uint64_t id = _nextReq++;
+    bool is_write = f.isWrite;
+    bool is_read = !f.isWrite && !f.isFlush;
+    std::uint64_t len = f.len;
+
+    RemoteIo io;
+    io.isWrite = f.isWrite;
+    io.isFlush = f.isFlush;
+    io.offset = f.sqe.slba() * nvme::kBlockSize;
+    io.len = static_cast<std::uint32_t>(len);
+    io.data = f.data;
+    // Runs on the server when the request completes there; the
+    // response message (and read data) then crosses the wire back.
+    io.done = [this, id, is_read, len](bool ok) {
+        std::uint64_t resp = pcie::kCqeBytes + (is_read && ok ? len : 0);
+        _rxBytes += resp;
+        _link.send(1, resp, [this, id, ok] { onResponse(id, ok); });
     };
-    _link.send(0, pcie::kSqeBytes,
-               [this, io = std::move(io)]() mutable {
-                   _server.execute(_volume, std::move(io));
-               });
+
+    _pending.emplace(id, std::move(f));
+
+    std::uint64_t req = pcie::kSqeBytes + (is_write ? len : 0);
+    _txBytes += req;
+    _link.send(0, req, [this, io = std::move(io)]() mutable {
+        _server.execute(_volume, std::move(io));
+    });
+    schedule(_ccfg.requestTimeout, [this, id] { onTimeout(id); });
+}
+
+void
+RemoteNvmeDevice::onResponse(std::uint64_t id, bool ok)
+{
+    auto it = _pending.find(id);
+    if (it == _pending.end()) {
+        // Abandoned after timeout: the command was retried (or has
+        // already failed); drop the late response.
+        ++_staleDrops;
+        return;
+    }
+    Flight f = std::move(it->second);
+    _pending.erase(it);
+    finishFlight(std::move(f), ok);
+}
+
+void
+RemoteNvmeDevice::onTimeout(std::uint64_t id)
+{
+    auto it = _pending.find(id);
+    if (it == _pending.end())
+        return; // Responded in time.
+    ++_timeouts;
+    Flight f = std::move(it->second);
+    _pending.erase(it);
+    if (f.attempt > _ccfg.maxRetries) {
+        ++_exhausted;
+        logWarn("remote request gave up after ", f.attempt,
+                " attempts (len=", f.len, ")");
+        finishFlight(std::move(f), false);
+        return;
+    }
+    ++_retries;
+    ++f.attempt;
+    // The retry keeps its window slot; a fresh id fences off the
+    // stale response should the original still be in flight.
+    sendAttempt(std::move(f));
+}
+
+void
+RemoteNvmeDevice::finishFlight(Flight f, bool ok)
+{
+    --_wireInflight;
+    pump();
+    if (!ok) {
+        _ctrl->complete(f.sqid, f.sqe.cid, Status::DataTransferError);
+        return;
+    }
+    if (f.isWrite || f.isFlush || f.len == 0) {
+        _ctrl->complete(f.sqid, f.sqe.cid, Status::Success);
+        return;
+    }
+    // Read: scatter the returned payload to the upstream buffers.
+    auto data = f.data;
+    auto segs = std::make_shared<std::vector<nvme::DmaSegment>>(
+        std::move(f.segs));
+    std::uint16_t sqid = f.sqid;
+    std::uint16_t cid = f.sqe.cid;
+    dmaSegments(*segs, true, data->data(), [this, data, segs, sqid, cid] {
+        _ctrl->complete(sqid, cid, Status::Success);
+    });
 }
 
 } // namespace bms::remote

@@ -12,6 +12,7 @@
 #define BMS_REMOTE_STORAGE_SERVER_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -31,6 +32,12 @@ struct RemoteIo
     bool isFlush = false;
     std::uint64_t offset = 0;
     std::uint32_t len = 0;
+    /**
+     * Functional payload: carried with the request for writes, filled
+     * by the server for successful reads. Null for flushes and
+     * timing-only traffic (the server then moves no real bytes).
+     */
+    std::shared_ptr<std::vector<std::uint8_t>> data;
     /** Completion with success flag (runs on the server side). */
     std::function<void(bool)> done;
 };
@@ -45,6 +52,12 @@ class StorageServer : public sim::SimObject
         ssd::SsdDevice::Config ssd;
         /** Target-side software cost per I/O (poll-mode target). */
         sim::Tick perIoCost = sim::microsecondsF(1.5);
+        /** Largest I/O one request may carry (bounce-buffer size). */
+        std::uint32_t maxIoBytes = 2 * 1024 * 1024;
+        /** Bounce buffers (concurrent disk I/Os); excess requests queue. */
+        int bounceBuffers = 64;
+        /** Give each server-side SSD and driver its own event lane. */
+        bool perLaneEvents = true;
     };
 
     StorageServer(sim::Simulator &sim, std::string name, Config cfg);
@@ -58,6 +71,13 @@ class StorageServer : public sim::SimObject
     };
 
     int addVolume(Volume v);
+
+    /**
+     * Carve the next free @p length bytes of @p disk into a volume
+     * (sequential allocation; asserts when the disk is exhausted).
+     */
+    int allocVolume(int disk, std::uint64_t length);
+
     std::uint64_t volumeBytes(int volume) const;
 
     /**
@@ -66,18 +86,41 @@ class StorageServer : public sim::SimObject
      */
     void execute(int volume, RemoteIo io);
 
+    /**
+     * Node loss: while down the server silently drops every request,
+     * and completions of I/Os already at the disks are swallowed —
+     * the initiator only ever finds out via its own timeout.
+     */
+    void setDown(bool down) { _down = down; }
+    bool down() const { return _down; }
+
+    /** Silently drop the next @p n requests (timeout/retry tests). */
+    void dropNext(int n) { _dropNext += n; }
+
     host::HostSystem &machine() { return *_host; }
+    ssd::SsdDevice &disk(int i) { return *_ssds.at(i); }
     std::uint64_t requestsServed() const { return _served; }
+    std::uint64_t requestsDropped() const { return _dropped; }
 
   private:
+    void submitIo(const Volume &vol, RemoteIo io);
+    void startIo(const Volume &vol, RemoteIo io, std::uint64_t buf);
+
     Config _cfg;
     host::HostSystem *_host = nullptr;
     std::vector<ssd::SsdDevice *> _ssds;
     std::vector<host::NvmeDriver *> _drivers;
     std::vector<Volume> _volumes;
+    std::vector<std::uint64_t> _diskNextFree;
     host::CpuCore _targetCore;
+    /** Free bounce buffers + requests waiting for one. */
+    std::vector<std::uint64_t> _freeBufs;
+    std::deque<std::pair<Volume, RemoteIo>> _bufWaiters;
     std::uint64_t _served = 0;
+    std::uint64_t _dropped = 0;
     bool _ready = false;
+    bool _down = false;
+    int _dropNext = 0;
 };
 
 } // namespace bms::remote

@@ -95,6 +95,73 @@ TEST(Fuzz, MultiVfSeedsPassTheOracle)
     }
 }
 
+// Pinned remote-tier seeds: storage nodes behind network links, a
+// guaranteed early spill onto node 0, a node-0 loss mid-window
+// recovered through the failNode verb (every spilled chunk flips to
+// its strict-mirror shadow, then re-spills to node 1), plus link
+// latency spikes and a late promote. The oracle verifies every
+// tenant block across all tier moves and the recovery.
+TEST(Fuzz, TieringSeedsPassTheOracle)
+{
+    for (std::uint64_t seed = 401; seed <= 404; ++seed) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        fuzz::FuzzConfig cfg;
+        cfg.seed = seed;
+        cfg.horizon = sim::milliseconds(120);
+        cfg.minSsds = 2;
+        cfg.maxRemoteNodes = 2;
+        cfg.forceTiering = true;
+        fuzz::Fuzzer fuzzer(cfg);
+        fuzz::FuzzReport r = fuzzer.run();
+        EXPECT_GT(r.totalOps, 100u);
+        EXPECT_GT(r.verifiedBlocks, 0u);
+        EXPECT_EQ(r.remoteNodes, 2);
+        // The forced schedule always spills (aborts under a fault
+        // window surface as tier failures instead).
+        EXPECT_GT(r.spills + r.tierFailures, 0u);
+        EXPECT_EQ(r.nodeLosses, 1u);
+        // Recovery re-points chunks at their shadows and re-spills
+        // them pairwise (node 1 always survives to take them).
+        EXPECT_EQ(r.chunksRecovered, r.chunksRespilled);
+        if (r.totalErrors != 0) {
+            EXPECT_GT(r.faultWindows, 0);
+        }
+        EXPECT_LE(r.maxCompletionGap, sim::seconds(10));
+    }
+}
+
+// Tiering runs must replay byte-identically as well: the remote
+// topology and tier schedule draw from a forked RNG stream, and the
+// whole wire protocol runs on the simulator clock.
+TEST(Fuzz, TieringSeedsAreDeterministic)
+{
+    auto run = [] {
+        fuzz::FuzzConfig cfg;
+        cfg.seed = 402;
+        cfg.horizon = sim::milliseconds(120);
+        cfg.minSsds = 2;
+        cfg.maxRemoteNodes = 2;
+        cfg.forceTiering = true;
+        fuzz::Fuzzer fuzzer(cfg);
+        return fuzzer.run();
+    };
+    fuzz::FuzzReport a = run();
+    fuzz::FuzzReport b = run();
+    EXPECT_EQ(a.totalOps, b.totalOps);
+    EXPECT_EQ(a.totalErrors, b.totalErrors);
+    EXPECT_EQ(a.verifiedBlocks, b.verifiedBlocks);
+    EXPECT_EQ(a.controlOps, b.controlOps);
+    EXPECT_EQ(a.spills, b.spills);
+    EXPECT_EQ(a.promotes, b.promotes);
+    EXPECT_EQ(a.tierFailures, b.tierFailures);
+    EXPECT_EQ(a.chunksRecovered, b.chunksRecovered);
+    EXPECT_EQ(a.chunksRespilled, b.chunksRespilled);
+    EXPECT_EQ(a.remoteTimeouts, b.remoteTimeouts);
+    EXPECT_EQ(a.remoteRetries, b.remoteRetries);
+    EXPECT_EQ(a.maxCompletionGap, b.maxCompletionGap);
+    EXPECT_EQ(a.finishedAt, b.finishedAt);
+}
+
 // Multi-VF runs must replay byte-identically too — this is the
 // regression gate for the sharded event queue's deterministic merge.
 TEST(Fuzz, MultiVfSeedsAreDeterministic)
