@@ -33,6 +33,7 @@
 
 #include "harness/runner.hh"
 #include "harness/testbeds.hh"
+#include "sim/lane_audit.hh"
 #include "workload/fio.hh"
 
 using namespace bms;
@@ -161,6 +162,8 @@ int
 main(int argc, char **argv)
 {
     bms::harness::applyCommonFlags(argc, argv);
+    if (sim::LaneAudit::active())
+        sim::LaneAudit::instance().setRun("full_card");
 
     bool quick = false;
     double scaleFloor = 2.0;

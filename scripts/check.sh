@@ -1,16 +1,28 @@
 #!/usr/bin/env bash
-# Pre-PR gate: clang-tidy static analysis + ASan/UBSan test run.
+# Pre-PR gate: bms-lint determinism pass + clang-tidy + ASan/UBSan
+# test run + lane-conflict census gate.
 #
-# Usage: scripts/check.sh [--tidy-only|--san-only]
+# Usage: scripts/check.sh [--lint-only|--tidy-only|--san-only|--lane-only]
 #
-# 1. clang-tidy over src/ with the repo .clang-tidy profile (skipped
+# 1. bms-lint (tools/bms-lint) over every source file in src/ and
+#    tests/: project determinism rules R1-R5 (wall-clock/entropy,
+#    unordered iteration, pointer ordering, bare assert, tick-epsilon
+#    offsets — DESIGN.md §13). Fails on any new violation; every
+#    BMS_LINT_ALLOW suppression must carry a reason.
+# 2. clang-tidy over src/ with the repo .clang-tidy profile (skipped
 #    with a warning when clang-tidy is not installed — the container
-#    image ships gcc only).
-# 2. A fresh ASan+UBSan build (-DBMS_SANITIZE="address;undefined")
-#    running the full ctest suite.
+#    image ships gcc only). Reuses build/compile_commands.json when
+#    the default build tree already exported one.
+# 3. A fresh ASan+UBSan build (-DBMS_SANITIZE="address;undefined")
+#    running the full ctest suite plus the pinned fuzz seeds.
+# 4. A -DBMS_LANE_AUDIT=ON build replaying the pinned fuzz seeds and
+#    the quick full-card sweep with the same-tick lane-conflict
+#    sanitizer armed, merging the per-run censuses into
+#    build-lane/lane_conflicts.json and gating every write-involving
+#    cross-lane conflict against scripts/lane_baseline.json.
 #
-# Build trees land in build-tidy/ and build-asan/ so they never
-# disturb an existing build/.
+# Build trees land in build-lint/, build-tidy/, build-asan/ and
+# build-lane/ so they never disturb an existing build/.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,22 +31,54 @@ mode="${1:-all}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 fail=0
 
+build_lint_tool() {
+    cmake -B build-lint -S . >/dev/null
+    cmake --build build-lint --target bms-lint -j "${jobs}" >/dev/null
+}
+
+run_lint() {
+    echo "== bms-lint (determinism rules R1-R5) =="
+    build_lint_tool
+    # File by file over simulation code and tests; headers are linted
+    # directly (not just through including TUs).
+    local files
+    files=$(find src tests -name '*.cc' -o -name '*.hh' -o -name '*.h' \
+            | sort)
+    # shellcheck disable=SC2086  # word-splitting the file list is intended
+    ./build-lint/tools/bms-lint/bms-lint ${files} || fail=1
+}
+
 run_tidy() {
     if ! command -v clang-tidy >/dev/null 2>&1; then
         echo "check.sh: WARNING: clang-tidy not found; skipping static analysis" >&2
         return 0
     fi
     echo "== clang-tidy =="
-    cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    # The default build exports compile_commands.json
+    # (CMAKE_EXPORT_COMPILE_COMMANDS is ON in the top-level
+    # CMakeLists); reuse whichever tree already has one before
+    # configuring a dedicated build-tidy/.
+    local ccdir=""
+    for d in build build-tidy; do
+        if [ -f "${d}/compile_commands.json" ]; then
+            ccdir="${d}"
+            break
+        fi
+    done
+    if [ -z "${ccdir}" ]; then
+        cmake -B build-tidy -S . >/dev/null
+        ccdir=build-tidy
+    fi
+    echo "check.sh: using ${ccdir}/compile_commands.json"
     # Headers are covered through the TUs that include them
     # (HeaderFilterRegex in .clang-tidy).
     local files
     files=$(find src -name '*.cc' | sort)
     if command -v run-clang-tidy >/dev/null 2>&1; then
-        run-clang-tidy -p build-tidy -quiet ${files} || fail=1
+        run-clang-tidy -p "${ccdir}" -quiet ${files} || fail=1
     else
         for f in ${files}; do
-            clang-tidy -p build-tidy --quiet "$f" || fail=1
+            clang-tidy -p "${ccdir}" --quiet "$f" || fail=1
         done
     fi
 }
@@ -79,11 +123,49 @@ run_san() {
     ./build-asan/bench/ext_remote_storage --quick || fail=1
 }
 
+run_lane() {
+    echo "== lane-conflict audit (BMS_LANE_AUDIT=ON) =="
+    cmake -B build-lane -S . -DBMS_LANE_AUDIT=ON >/dev/null
+    cmake --build build-lane --target fuzz ext_full_card bms-lint \
+        -j "${jobs}" >/dev/null
+    local out=build-lane
+    # The pinned fuzz schedules again, now with every instrumented
+    # shared structure reporting (tick, lane, object, read|write).
+    # Shorter horizons than the ASan pass: the census saturates fast
+    # (conflict *kinds* are gated, not counts).
+    ./${out}/fuzz --seeds=1:8 --horizon-ms=20 \
+        --lane-audit-out=${out}/census_base.json >/dev/null || fail=1
+    ./${out}/fuzz --seeds=201:204 --horizon-ms=20 --min-ssds=2 \
+        --force-migration \
+        --lane-audit-out=${out}/census_migration.json >/dev/null || fail=1
+    ./${out}/fuzz --seeds=301:304 --horizon-ms=15 --max-tenants=16 \
+        --lane-audit-out=${out}/census_multivf.json >/dev/null || fail=1
+    ./${out}/fuzz --seeds=401:404 --horizon-ms=60 --min-ssds=2 \
+        --remote-nodes=2 --force-tiering \
+        --lane-audit-out=${out}/census_tiering.json >/dev/null || fail=1
+    ./${out}/bench/ext_full_card --quick --events-floor=50000 \
+        --wall-limit-s=300 \
+        --lane-audit-out=${out}/census_full_card.json \
+        --json=${out}/BENCH_full_card.json >/dev/null || fail=1
+    # One ranked census over every run — the artifact a parallel-lane
+    # PR reads to learn which objects need sharding or staging.
+    ./${out}/tools/bms-lint/bms-lint --merge-census \
+        ${out}/lane_conflicts.json ${out}/census_*.json || fail=1
+    echo "check.sh: merged census at ${out}/lane_conflicts.json"
+    # The invariant: every same-tick cross-lane conflict involving a
+    # write is known and baselined; anything new fails the gate.
+    ./${out}/tools/bms-lint/bms-lint --check-census \
+        scripts/lane_baseline.json ${out}/lane_conflicts.json || fail=1
+}
+
 case "${mode}" in
+  --lint-only) run_lint ;;
   --tidy-only) run_tidy ;;
   --san-only)  run_san ;;
-  all)         run_tidy; run_san ;;
-  *) echo "usage: scripts/check.sh [--tidy-only|--san-only]" >&2; exit 2 ;;
+  --lane-only) run_lane ;;
+  all)         run_lint; run_tidy; run_san; run_lane ;;
+  *) echo "usage: scripts/check.sh [--lint-only|--tidy-only|--san-only|--lane-only]" >&2
+     exit 2 ;;
 esac
 
 if [ "${fail}" -ne 0 ]; then

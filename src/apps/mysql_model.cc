@@ -1,5 +1,6 @@
 #include "apps/mysql_model.hh"
 
+#include <algorithm>
 #include <utility>
 
 namespace bms::apps {
@@ -178,15 +179,18 @@ void
 MySqlModel::flushTick()
 {
     // Write back up to flushBatch dirty pages; doublewrite prepends
-    // one sequential batch write.
+    // one sequential batch write. The batch is picked in ascending
+    // page order, not hash order: which pages flush (and the write
+    // offsets issued) must not depend on libstdc++'s bucket layout.
     if (!_dirty.empty()) {
-        std::vector<std::uint64_t> batch;
-        for (auto it = _dirty.begin();
-             it != _dirty.end() &&
-             batch.size() < static_cast<std::size_t>(_cfg.flushBatch);) {
-            batch.push_back(*it);
-            it = _dirty.erase(it);
-        }
+        // BMS_LINT_ALLOW(unordered-iter): drained into a sorted batch
+        std::vector<std::uint64_t> all(_dirty.begin(), _dirty.end());
+        std::sort(all.begin(), all.end());
+        if (all.size() > static_cast<std::size_t>(_cfg.flushBatch))
+            all.resize(static_cast<std::size_t>(_cfg.flushBatch));
+        std::vector<std::uint64_t> batch = std::move(all);
+        for (std::uint64_t page : batch)
+            _dirty.erase(page);
         auto issue_pages = [this, batch] {
             for (std::uint64_t page : batch) {
                 ++_pagesFlushed;

@@ -9,11 +9,13 @@
 #ifndef BMS_CORE_CTRL_IO_MONITOR_HH
 #define BMS_CORE_CTRL_IO_MONITOR_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "core/engine/bms_engine.hh"
+#include "sim/lane_audit.hh"
 #include "sim/simulator.hh"
 
 namespace bms::core {
@@ -62,6 +64,7 @@ class IoMonitor : public sim::SimObject
         _current.resize(_last.size());
         _slotLast.resize(static_cast<std::size_t>(engine.ssdSlots()));
         _slotCurrent.resize(_slotLast.size());
+        BMS_LANE_AUDIT_NAME(_heatAudit, this->name() + ".heat");
     }
 
     /** Start periodic sampling. */
@@ -108,19 +111,35 @@ class IoMonitor : public sim::SimObject
     chunkHeatMbps(pcie::FunctionId fn, std::uint32_t nsid,
                   std::uint32_t chunk) const
     {
+        BMS_LANE_AUDIT_READ(_heatAudit);
         auto it = _heat.find(TargetController::heatKey(
             QosModule::key(fn, nsid), chunk));
         return it == _heat.end() ? 0.0 : it->second;
     }
 
-    /** Visit every tracked (qos key, chunk, MB/s) triple. */
+    /**
+     * Visit every tracked (qos key, chunk, MB/s) triple in ascending
+     * heat-key order — callers break heat ties by visit order (e.g. a
+     * tiering policy's argmax), so the order must not leak the hash
+     * layout.
+     */
     void
     forEachChunkHeat(const std::function<void(std::uint32_t, std::uint32_t,
                                               double)> &fn) const
     {
+        BMS_LANE_AUDIT_READ(_heatAudit);
+        std::vector<std::uint64_t> keys;
+        keys.reserve(_heat.size());
+        // BMS_LINT_ALLOW(unordered-iter): keys are sorted before use
         for (const auto &[key, mbps] : _heat) {
+            (void)mbps;
+            keys.push_back(key);
+        }
+        std::sort(keys.begin(), keys.end());
+        for (std::uint64_t key : keys) {
             fn(static_cast<std::uint32_t>(key >> 32),
-               static_cast<std::uint32_t>(key & 0xffffffffu), mbps);
+               static_cast<std::uint32_t>(key & 0xffffffffu),
+               _heat.at(key));
         }
     }
     /// @}
@@ -192,7 +211,11 @@ class IoMonitor : public sim::SimObject
         // counts into an EMA so a burst cools off over a few periods
         // instead of instantly (hysteresis for the tiering policy).
         if (period_sec > 0.0) {
+            BMS_LANE_AUDIT_WRITE(_heatAudit);
             auto delta = _engine.targetController().drainHeat();
+            // BMS_LINT_ALLOW(unordered-iter): per-key EMA fold —
+            // entries are updated/erased independently, so the final
+            // map state is identical for every visit order
             for (auto it = _heat.begin(); it != _heat.end();) {
                 auto d = delta.find(it->first);
                 double inst = d == delta.end()
@@ -239,6 +262,7 @@ class IoMonitor : public sim::SimObject
     std::vector<SlotSample> _slotCurrent;
     /** heatKey → decayed MB/s. */
     std::unordered_map<std::uint64_t, double> _heat;
+    BMS_LANE_AUDIT_OBJ(_heatAudit);
 };
 
 } // namespace bms::core

@@ -1,6 +1,7 @@
 #include "core/ctrl/namespace_manager.hh"
 
 #include <algorithm>
+#include <string>
 
 namespace bms::core {
 
@@ -36,6 +37,8 @@ NamespaceManager::registerSsd(int slot, std::uint64_t capacity_bytes,
     pool.slot = slot;
     pool.used.assign(chunks, false);
     pool.remote = remote;
+    BMS_LANE_AUDIT_NAME(pool.audit,
+                        "chunkpool.slot" + std::to_string(slot));
     auto it = std::find_if(_pools.begin(), _pools.end(),
                            [slot](const Pool &p) { return p.slot == slot; });
     if (it != _pools.end()) {
@@ -63,6 +66,7 @@ NamespaceManager::allocate(std::uint32_t chunks, Policy policy,
             return false;
         for (std::size_t c = 0; c < pool.used.size(); ++c) {
             if (!pool.used[c]) {
+                BMS_LANE_AUDIT_WRITE(pool.audit);
                 pool.used[c] = true;
                 out.push_back(Allocation{static_cast<std::uint8_t>(pool.slot),
                                          static_cast<std::uint8_t>(c)});
@@ -105,8 +109,10 @@ void
 NamespaceManager::release(const std::vector<Allocation> &allocs)
 {
     for (const Allocation &a : allocs) {
-        if (Pool *pool = poolFor(a.slot))
+        if (Pool *pool = poolFor(a.slot)) {
+            BMS_LANE_AUDIT_WRITE(pool->audit);
             pool->used[a.chunk] = false;
+        }
     }
 }
 
@@ -216,6 +222,7 @@ std::uint64_t
 NamespaceManager::freeChunks(int slot) const
 {
     if (const Pool *pool = poolFor(slot)) {
+        BMS_LANE_AUDIT_READ(pool->audit);
         return static_cast<std::uint64_t>(
             std::count(pool->used.begin(), pool->used.end(), false));
     }
@@ -236,6 +243,7 @@ NamespaceManager::occupancy() const
     std::vector<Occupancy> out;
     out.reserve(_pools.size());
     for (const Pool &pool : _pools) {
+        BMS_LANE_AUDIT_READ(pool.audit);
         Occupancy o;
         o.slot = pool.slot;
         o.total = pool.used.size();
@@ -292,6 +300,7 @@ NamespaceManager::takeChunk(int slot)
         return std::nullopt;
     for (std::size_t c = 0; c < pool->used.size(); ++c) {
         if (!pool->used[c]) {
+            BMS_LANE_AUDIT_WRITE(pool->audit);
             pool->used[c] = true;
             return static_cast<std::uint8_t>(c);
         }
@@ -308,6 +317,7 @@ NamespaceManager::releaseChunk(int slot, std::uint8_t chunk)
                int(chunk));
     BMS_ASSERT(pool->used[chunk], "double free of chunk ", int(chunk),
                " on slot ", slot);
+    BMS_LANE_AUDIT_WRITE(pool->audit);
     pool->used[chunk] = false;
 }
 

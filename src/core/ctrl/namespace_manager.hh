@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/engine/bms_engine.hh"
+#include "sim/lane_audit.hh"
 
 namespace bms::core {
 
@@ -163,6 +164,7 @@ class NamespaceManager
         std::vector<bool> used;
         int quiesce = 0;
         bool remote = false;
+        BMS_LANE_AUDIT_OBJ(audit);
     };
 
     std::optional<std::vector<Allocation>>

@@ -1,6 +1,7 @@
 #include "core/engine/bms_engine.hh"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 namespace bms::core {
@@ -9,6 +10,7 @@ BmsEngine::BmsEngine(sim::Simulator &sim, std::string name,
                      EngineConfig cfg)
     : SimObject(sim, name), _cfg(cfg)
 {
+    _chip.setLaneAuditName(name + ".chipmem");
     _qos = std::make_unique<QosModule>(sim, name + ".qos");
     _gate = std::make_unique<MigrationGate>(sim, name + ".miggate");
     _target = std::make_unique<TargetController>(sim, name + ".target",
@@ -105,6 +107,8 @@ BmsEngine::bind(pcie::FunctionId fn, std::uint32_t nsid,
     BMS_ASSERT_LE(size_blocks, geom.capacityBlocks(),
                   "namespace larger than its mapping table");
     NsBinding &ref = *binding;
+    ref.map.setLaneAuditName("lbamap.fn" + std::to_string(int(fn)) +
+                             ".ns" + std::to_string(nsid));
     _bindings.emplace(key, std::move(binding));
     _functions.at(fn)->addNamespace(info);
     return ref;
@@ -131,6 +135,7 @@ BmsEngine::forEachBinding(const std::function<void(NsBinding &)> &fn)
     // on pointer hashing): visit by ascending QoS key.
     std::vector<std::uint32_t> keys;
     keys.reserve(_bindings.size());
+    // BMS_LINT_ALLOW(unordered-iter): keys are sorted before visiting
     for (auto &[key, binding] : _bindings) {
         (void)binding;
         keys.push_back(key);
@@ -181,6 +186,9 @@ BmsEngine::storeIoContext(int ssd_slot, std::function<void()> stored)
     // SSD; tenant doorbells still latch, commands simply stop being
     // fetched (that is the stored "context": ring state lives in host
     // memory and engine registers).
+    // BMS_LINT_ALLOW(unordered-iter): pauseFetch() only sets a flag
+    // (idempotent, schedules nothing), so the pause set is identical
+    // for every visit order
     for (auto &[key, binding] : _bindings) {
         (void)key;
         bool uses = false;

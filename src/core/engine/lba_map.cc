@@ -25,6 +25,7 @@ LbaMapTable::setEntry(std::uint32_t row, std::uint32_t col,
         return false;
     if (chunk_base > _geom.maxChunkBase() || ssd_id > _geom.maxSlotId())
         return false;
+    BMS_LANE_AUDIT_WRITE(_laneAudit);
     _entries[row * _geom.entriesPerRow + col] =
         _geom.wide
             ? static_cast<std::uint16_t>(
@@ -44,6 +45,7 @@ LbaMapTable::invalidate(std::uint32_t row, std::uint32_t col)
 {
     if (row >= _geom.rows || col >= _geom.entriesPerRow)
         return;
+    BMS_LANE_AUDIT_WRITE(_laneAudit);
     _validation[row] &= static_cast<std::uint8_t>(~(1u << col));
     if (sim::Check::paranoid())
         checkInvariants();
@@ -85,12 +87,14 @@ LbaMapTable::entryValid(std::uint32_t row, std::uint32_t col) const
 {
     if (row >= _geom.rows || col >= _geom.entriesPerRow)
         return false;
+    BMS_LANE_AUDIT_READ(_laneAudit);
     return _validation[row] & (1u << col);
 }
 
 std::optional<LbaMapping>
 LbaMapTable::translate(std::uint64_t host_lba) const
 {
+    BMS_LANE_AUDIT_READ(_laneAudit);
     std::uint64_t chunk = host_lba / _geom.chunkBlocks; // HL / CS
     std::uint64_t row = chunk / _geom.entriesPerRow;    // Eq. (1)
     std::uint64_t col = chunk % _geom.entriesPerRow;    // Eq. (2)

@@ -262,6 +262,8 @@ MigrationGate::open(std::uint8_t src_slot, std::uint8_t src_chunk,
     // Writes already in flight on the source chunk were admitted
     // before the migration existed; count them into the per-segment
     // fences so the copier waits for them like any other write.
+    // BMS_LINT_ALLOW(unordered-iter): purely additive per-record seg
+    // accounting — commutative across records, no order leaks out
     for (auto &[token, rec] : _recs) {
         (void)token;
         if (!rec.isWrite || rec.segTracked)

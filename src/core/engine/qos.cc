@@ -38,6 +38,9 @@ void
 QosModule::setLimits(std::uint32_t ns_key, QosLimits limits)
 {
     NsState &ns = _ns[ns_key];
+    BMS_LANE_AUDIT_NAME(ns.audit, name() + ".bucket" +
+                                      std::to_string(ns_key));
+    BMS_LANE_AUDIT_WRITE(ns.audit);
     ns.limits = limits;
     ns.lastRefill = now();
     // Start with a full burst allowance and a clean slate — a
@@ -51,14 +54,20 @@ const QosLimits *
 QosModule::limitsFor(std::uint32_t ns_key) const
 {
     auto it = _ns.find(ns_key);
-    return it == _ns.end() ? nullptr : &it->second.limits;
+    if (it == _ns.end())
+        return nullptr;
+    BMS_LANE_AUDIT_READ(it->second.audit);
+    return &it->second.limits;
 }
 
 std::size_t
 QosModule::bufferDepth(std::uint32_t ns_key) const
 {
     auto it = _ns.find(ns_key);
-    return it == _ns.end() ? 0 : it->second.buffer.size();
+    if (it == _ns.end())
+        return 0;
+    BMS_LANE_AUDIT_READ(it->second.audit);
+    return it->second.buffer.size();
 }
 
 void
@@ -125,11 +134,14 @@ QosModule::submit(std::uint32_t ns_key, std::uint64_t bytes,
     auto it = _ns.find(ns_key);
     if (it == _ns.end() || it->second.limits.unlimited()) {
         // No threshold programmed: pass through (Fig. 5 fast path).
+        if (it != _ns.end())
+            BMS_LANE_AUDIT_READ(it->second.audit);
         ++_passed;
         forward();
         return;
     }
     NsState &ns = it->second;
+    BMS_LANE_AUDIT_WRITE(ns.audit);
     refill(ns);
     if (ns.buffer.empty() && tryConsume(ns, bytes)) {
         ++_passed;
@@ -153,6 +165,7 @@ QosModule::scheduleDispatch(std::uint32_t ns_key)
     NsState &ns = _ns[ns_key];
     if (ns.dispatchScheduled || ns.buffer.empty())
         return;
+    BMS_LANE_AUDIT_WRITE(ns.audit);
     ns.dispatchScheduled = true;
     sim::Tick delay = readyDelay(ns, ns.buffer.front().first);
     schedule(delay, [this, ns_key] { dispatch(ns_key); });
@@ -162,6 +175,7 @@ void
 QosModule::dispatch(std::uint32_t ns_key)
 {
     NsState &ns = _ns[ns_key];
+    BMS_LANE_AUDIT_WRITE(ns.audit);
     ns.dispatchScheduled = false;
     refill(ns);
     ++_dispatchDepth;
@@ -181,6 +195,8 @@ QosModule::checkInvariants() const
 {
     sim::ScopedCheckComponent guard(name());
     std::uint64_t waiting = 0;
+    // BMS_LINT_ALLOW(unordered-iter): read-only invariant sweep —
+    // asserts per entry, accumulates a commutative sum, no order leak
     for (const auto &[key, ns] : _ns) {
         // Token credits are clamped at zero by tryConsume; a negative
         // balance means a command was forwarded without paying.

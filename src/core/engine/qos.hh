@@ -20,6 +20,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "sim/lane_audit.hh"
 #include "sim/simulator.hh"
 
 namespace bms::core {
@@ -107,6 +108,7 @@ class QosModule : public sim::SimObject
         sim::Tick lastRefill = 0;
         std::deque<std::pair<std::uint64_t, std::function<void()>>> buffer;
         bool dispatchScheduled = false;
+        BMS_LANE_AUDIT_OBJ(audit);
     };
 
     void refill(NsState &ns);

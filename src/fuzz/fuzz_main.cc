@@ -6,6 +6,7 @@
  *        [--max-ssds=N] [--min-ssds=N] [--no-faults] [--no-control]
  *        [--no-upgrade] [--no-migration] [--force-migration]
  *        [--remote-nodes=N] [--force-tiering] [--paranoid] [--log=LEVEL]
+ *        [--lane-audit-out=PATH]
  *
  * BMS_FUZZ_SEED=N is equivalent to --seed=N (repro from CI logs).
  * Exits nonzero on the first failing seed, after printing the seed
@@ -19,6 +20,7 @@
 
 #include "fuzz/fuzzer.hh"
 #include "harness/runner.hh"
+#include "sim/lane_audit.hh"
 
 using namespace bms;
 
@@ -117,7 +119,8 @@ main(int argc, char **argv)
         } else if (std::strcmp(a, "--force-tiering") == 0) {
             cfg.forceTiering = true;
         } else if (std::strncmp(a, "--paranoid", 10) == 0 ||
-                   std::strncmp(a, "--log=", 6) == 0) {
+                   std::strncmp(a, "--log=", 6) == 0 ||
+                   std::strncmp(a, "--lane-audit-out=", 17) == 0) {
             // handled by applyCommonFlags
         } else {
             std::fprintf(stderr, "fuzz: unknown flag %s\n", a);
@@ -130,6 +133,10 @@ main(int argc, char **argv)
 
     for (std::uint64_t seed = first; seed <= last; ++seed) {
         cfg.seed = seed;
+        if (sim::LaneAudit::active()) {
+            sim::LaneAudit::instance().setRun("seed" +
+                                              std::to_string(seed));
+        }
         // Failures panic (abort) inside run(), printing the seed and
         // the op log — exactly what a sweep script wants to capture.
         fuzz::Fuzzer fuzzer(cfg);

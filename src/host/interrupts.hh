@@ -48,6 +48,8 @@ class InterruptController : public sim::SimObject
     unregisterFunction(std::uint32_t domain, pcie::FunctionId fn)
     {
         std::uint64_t prefix = key(domain, fn, 0) >> 16;
+        // BMS_LINT_ALLOW(unordered-iter): pure filter-erase — the
+        // surviving handler set is identical for every visit order
         for (auto it = _handlers.begin(); it != _handlers.end();) {
             if ((it->first >> 16) == prefix)
                 it = _handlers.erase(it);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/check.hh"
+#include "sim/lane_audit.hh"
 
 namespace bms::sim {
 
@@ -173,6 +174,11 @@ EventQueue::runOne()
     ++_executed;
     if (Check::paranoid())
         checkInvariants();
+    // Publish (queue, lane, tick) so lane-audited structures can tag
+    // accesses made by this callback; one untaken branch when the
+    // audit is off (see sim/lane_audit.hh).
+    LaneAudit::EventScope auditScope(this, static_cast<LaneId>(t.lane),
+                                     h.when);
     cb();
     return true;
 }

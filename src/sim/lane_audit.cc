@@ -1,0 +1,259 @@
+#include "sim/lane_audit.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "sim/check.hh"
+
+namespace bms::sim {
+
+bool LaneAudit::_active = false;
+
+namespace {
+
+/** Context of the event currently being executed (single-threaded
+ *  simulator: one context per process is enough). */
+struct EventContext
+{
+    const void *queue = nullptr;
+    LaneId lane = kDefaultLane;
+    Tick when = 0;
+    bool inEvent = false;
+};
+
+EventContext g_ctx;
+
+/** Minimal JSON string escaping (audit names are plain identifiers,
+ *  but a malformed name must not corrupt the census file). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+LaneAudit &
+LaneAudit::instance()
+{
+    static LaneAudit audit;
+    return audit;
+}
+
+void
+LaneAudit::enable()
+{
+    _active = true;
+}
+
+void
+LaneAudit::disable()
+{
+    _active = false;
+}
+
+void
+LaneAudit::setRun(std::string label)
+{
+    _run = std::move(label);
+}
+
+std::uint32_t
+LaneAudit::registerObject(std::string name)
+{
+    ObjState obj;
+    obj.name = std::move(name);
+    _objects.push_back(std::move(obj));
+    return static_cast<std::uint32_t>(_objects.size() - 1);
+}
+
+void
+LaneAudit::beginEvent(const void *queue, LaneId lane, Tick when)
+{
+    g_ctx.queue = queue;
+    g_ctx.lane = lane;
+    g_ctx.when = when;
+    g_ctx.inEvent = true;
+}
+
+void
+LaneAudit::endEvent()
+{
+    g_ctx.inEvent = false;
+}
+
+void
+LaneAudit::bump(const std::string &object, const char *kind, Tick tick,
+                LaneId a, LaneId b)
+{
+    CensusEntry &e = _census[{object, kind}];
+    if (e.count == 0) {
+        e.firstTick = tick;
+        e.firstRun = _run;
+        e.laneA = a;
+        e.laneB = b;
+    }
+    ++e.count;
+}
+
+void
+LaneAudit::record(std::uint32_t id, Access access)
+{
+    if (!_active || !g_ctx.inEvent)
+        return; // setup/teardown code has no lane context
+    BMS_ASSERT_LT(id, _objects.size(), "lane-audit access to unknown id ",
+                  id);
+    ObjState &obj = _objects[id];
+    ++_recorded;
+
+    const LaneId lane = g_ctx.lane;
+    const Tick tick = g_ctx.when;
+    // A new tick (or a different simulator's queue — runs are
+    // sequential, so the pointer doubles as a run boundary) opens a
+    // fresh access window.
+    if (!obj.windowOpen || obj.tick != tick || obj.queue != g_ctx.queue) {
+        obj.windowOpen = true;
+        obj.tick = tick;
+        obj.queue = g_ctx.queue;
+        obj.readers.clear();
+        obj.writers.clear();
+    }
+
+    auto other = [lane](const std::vector<LaneId> &lanes) -> int {
+        for (LaneId l : lanes)
+            if (l != lane)
+                return l;
+        return -1;
+    };
+    auto noted = [](std::vector<LaneId> &lanes, LaneId l) {
+        if (std::find(lanes.begin(), lanes.end(), l) != lanes.end())
+            return true;
+        lanes.push_back(l);
+        return false;
+    };
+
+    if (access == Access::Write) {
+        int w = other(obj.writers);
+        int r = other(obj.readers);
+        if (w >= 0)
+            bump(obj.name, "write-write", tick, static_cast<LaneId>(w),
+                 lane);
+        if (r >= 0)
+            bump(obj.name, "read-write", tick, static_cast<LaneId>(r),
+                 lane);
+        noted(obj.writers, lane);
+    } else {
+        int w = other(obj.writers);
+        int r = other(obj.readers);
+        if (w >= 0)
+            bump(obj.name, "read-write", tick, static_cast<LaneId>(w),
+                 lane);
+        else if (r >= 0)
+            bump(obj.name, "read-read", tick, static_cast<LaneId>(r),
+                 lane);
+        noted(obj.readers, lane);
+    }
+}
+
+std::vector<LaneAudit::Conflict>
+LaneAudit::census() const
+{
+    std::vector<Conflict> out;
+    out.reserve(_census.size());
+    for (const auto &[key, e] : _census) {
+        Conflict c;
+        c.object = key.first;
+        c.kind = key.second;
+        c.count = e.count;
+        c.firstTick = e.firstTick;
+        c.firstRun = e.firstRun;
+        c.laneA = e.laneA;
+        c.laneB = e.laneB;
+        out.push_back(std::move(c));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Conflict &a, const Conflict &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  if (a.object != b.object)
+                      return a.object < b.object;
+                  return a.kind < b.kind;
+              });
+    return out;
+}
+
+std::vector<LaneAudit::Conflict>
+LaneAudit::writeConflicts() const
+{
+    std::vector<Conflict> all = census();
+    std::vector<Conflict> out;
+    for (auto &c : all)
+        if (c.kind != "read-read")
+            out.push_back(std::move(c));
+    return out;
+}
+
+bool
+LaneAudit::writeJson(const std::string &path,
+                     const std::string &binary) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"bms-lane-census-v1\",\n");
+    std::fprintf(f, "  \"binary\": \"%s\",\n", jsonEscape(binary).c_str());
+    std::fprintf(f, "  \"objects\": %zu,\n", _objects.size());
+    std::fprintf(f, "  \"recordedAccesses\": %llu,\n",
+                 static_cast<unsigned long long>(_recorded));
+    std::fprintf(f, "  \"conflicts\": [\n");
+    auto rows = census();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Conflict &c = rows[i];
+        // One conflict per line: the baseline checker and ad-hoc grep
+        // both rely on this layout (DESIGN.md §13).
+        std::fprintf(f,
+                     "    {\"object\": \"%s\", \"kind\": \"%s\", "
+                     "\"count\": %llu, \"firstTick\": %llu, "
+                     "\"firstRun\": \"%s\", \"lanes\": [%u, %u]}%s\n",
+                     jsonEscape(c.object).c_str(),
+                     jsonEscape(c.kind).c_str(),
+                     static_cast<unsigned long long>(c.count),
+                     static_cast<unsigned long long>(c.firstTick),
+                     jsonEscape(c.firstRun).c_str(),
+                     static_cast<unsigned>(c.laneA),
+                     static_cast<unsigned>(c.laneB),
+                     i + 1 == rows.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
+
+void
+LaneAudit::reset()
+{
+    _objects.clear();
+    _census.clear();
+    _run = "default";
+    _recorded = 0;
+    g_ctx = EventContext{};
+}
+
+} // namespace bms::sim

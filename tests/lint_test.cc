@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Determinism-auditor tests (DESIGN.md §13): bms-lint rule fixtures —
+ * one planted violation per rule R1-R5 plus the suppression
+ * machinery — and the same-tick lane-conflict sanitizer's self-test,
+ * which plants a deliberate cross-lane same-tick write and expects
+ * the audit to flag it.
+ *
+ * The planted violations live inside string literals, which the
+ * linter blanks before matching — so this file stays clean when the
+ * real lint pass runs over tests/.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hh"
+#include "sim/lane_audit.hh"
+#include "sim/simulator.hh"
+#include "tests/test_util.hh"
+
+using namespace bms;
+
+namespace {
+
+/** Rules triggered by @p content linted as @p path, sorted. */
+std::vector<std::string>
+rulesIn(const std::string &path, const std::string &content,
+        const std::string &header = "")
+{
+    std::vector<std::string> out;
+    for (const lint::Violation &v : lint::lintContent(path, content, header))
+        out.push_back(v.rule);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/** RAII: enabled, labeled, empty LaneAudit for one test. */
+struct AuditFixture
+{
+    sim::LaneAudit &audit = sim::LaneAudit::instance();
+    AuditFixture()
+    {
+        audit.reset();
+        audit.enable();
+        audit.setRun("selftest");
+    }
+    ~AuditFixture()
+    {
+        audit.disable();
+        audit.reset();
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// bms-lint rule fixtures (one planted violation per rule)
+// ---------------------------------------------------------------------
+
+TEST(BmsLint, R1FlagsWallClockInSimulationCode)
+{
+    std::string fixture = "void f() {\n"
+                          "    long t = time(nullptr);\n"
+                          "}\n";
+    EXPECT_EQ(rulesIn("src/core/fixture.cc", fixture),
+              std::vector<std::string>{"wall-clock"});
+    // Wall timers are legitimate in tools/ and bench/.
+    EXPECT_TRUE(rulesIn("tools/bms-lint/fixture.cc", fixture).empty());
+    EXPECT_TRUE(rulesIn("bench/fixture.cc", fixture).empty());
+}
+
+TEST(BmsLint, R1FlagsEntropySources)
+{
+    EXPECT_EQ(rulesIn("src/sim/fixture.cc",
+                      "int f() { return rand(); }\n"),
+              std::vector<std::string>{"wall-clock"});
+    EXPECT_EQ(rulesIn("src/sim/fixture.cc",
+                      "#include <random>\n"
+                      "std::random_device rd;\n"),
+              std::vector<std::string>{"wall-clock"});
+}
+
+TEST(BmsLint, R2FlagsRangeForOverUnorderedContainer)
+{
+    std::string fixture = "#include <unordered_map>\n"
+                          "std::unordered_map<int, int> table;\n"
+                          "int sum() {\n"
+                          "    int s = 0;\n"
+                          "    for (auto &kv : table)\n"
+                          "        s += kv.second;\n"
+                          "    return s;\n"
+                          "}\n";
+    EXPECT_EQ(rulesIn("src/core/fixture.cc", fixture),
+              std::vector<std::string>{"unordered-iter"});
+}
+
+TEST(BmsLint, R2UsesThePairedHeaderForMemberDeclarations)
+{
+    // The member is declared in the header; the .cc only iterates it.
+    std::string header = "struct S {\n"
+                         "    std::unordered_map<int, int> _members;\n"
+                         "};\n";
+    std::string source = "void S::visit() {\n"
+                         "    for (auto &kv : _members) { (void)kv; }\n"
+                         "}\n";
+    EXPECT_EQ(rulesIn("src/core/fixture.cc", source, header),
+              std::vector<std::string>{"unordered-iter"});
+    // Without the header the variable's type is unknown: no finding.
+    EXPECT_TRUE(rulesIn("src/core/fixture.cc", source).empty());
+}
+
+TEST(BmsLint, R3FlagsPointerOrdering)
+{
+    EXPECT_EQ(rulesIn("src/core/fixture.cc",
+                      "#include <map>\n"
+                      "struct Obj;\n"
+                      "std::map<Obj *, int> byAddress;\n"),
+              std::vector<std::string>{"pointer-order"});
+    EXPECT_EQ(rulesIn("src/core/fixture.cc",
+                      "bool less(void *a) {\n"
+                      "    return reinterpret_cast<uintptr_t>(a) < 64;\n"
+                      "}\n"),
+              std::vector<std::string>{"pointer-order"});
+}
+
+TEST(BmsLint, R4FlagsBareAssertUnderSrc)
+{
+    std::string fixture = "#include <cassert>\n"
+                          "void f(int x) { assert(x > 0); }\n";
+    EXPECT_EQ(rulesIn("src/core/fixture.cc", fixture),
+              std::vector<std::string>{"bare-assert"});
+    // tests/ may use raw assert (gtest shims, fixtures).
+    EXPECT_TRUE(rulesIn("tests/fixture.cc", fixture).empty());
+}
+
+TEST(BmsLint, R5FlagsEpsilonTickOffsets)
+{
+    EXPECT_EQ(rulesIn("src/core/fixture.cc",
+                      "void f(unsigned long when) {\n"
+                      "    schedule(when + 1, [] {});\n"
+                      "}\n"),
+              std::vector<std::string>{"tick-epsilon"});
+    // The (when, seq) API needs no offset: same tick is fine.
+    EXPECT_TRUE(rulesIn("src/core/fixture.cc",
+                        "void f(unsigned long when) {\n"
+                        "    schedule(when, [] {});\n"
+                        "}\n")
+                    .empty());
+}
+
+TEST(BmsLint, AllowWithReasonSuppresses)
+{
+    std::string fixture =
+        "void f() {\n"
+        "    // BMS_LINT_ALLOW(wall-clock): fixture needs real time\n"
+        "    long t = time(nullptr);\n"
+        "}\n";
+    EXPECT_TRUE(rulesIn("src/core/fixture.cc", fixture).empty());
+}
+
+TEST(BmsLint, AllowWithoutReasonIsItselfAViolation)
+{
+    std::string fixture = "void f() {\n"
+                          "    // BMS_LINT_ALLOW(wall-clock)\n"
+                          "    long t = time(nullptr);\n"
+                          "}\n";
+    std::vector<std::string> rules = rulesIn("src/core/fixture.cc", fixture);
+    ASSERT_EQ(rules.size(), 2u);
+    EXPECT_EQ(rules[0], "allow-without-reason");
+    EXPECT_EQ(rules[1], "wall-clock");
+}
+
+TEST(BmsLint, CatalogListsAllFiveRules)
+{
+    std::vector<lint::RuleInfo> cat = lint::ruleCatalog();
+    ASSERT_EQ(cat.size(), 5u);
+    EXPECT_STREQ(cat[0].id, "wall-clock");
+    EXPECT_STREQ(cat[1].id, "unordered-iter");
+    EXPECT_STREQ(cat[2].id, "pointer-order");
+    EXPECT_STREQ(cat[3].id, "bare-assert");
+    EXPECT_STREQ(cat[4].id, "tick-epsilon");
+}
+
+// ---------------------------------------------------------------------
+// Lane-conflict sanitizer self-test
+// ---------------------------------------------------------------------
+
+TEST(LaneAudit, FlagsPlantedCrossLaneSameTickWrite)
+{
+    AuditFixture fx;
+    sim::Simulator sim;
+    sim::LaneId lane1 = sim.createLane();
+    std::uint32_t obj = fx.audit.registerObject("fixture.shared");
+
+    // The deliberate conflict: two lanes write one object at tick 100.
+    sim.scheduleOnAt(sim::kDefaultLane, 100, [&] {
+        fx.audit.record(obj, sim::LaneAudit::Access::Write);
+    });
+    sim.scheduleOnAt(lane1, 100, [&] {
+        fx.audit.record(obj, sim::LaneAudit::Access::Write);
+    });
+    sim.runUntil(200);
+
+    std::vector<sim::LaneAudit::Conflict> wc = fx.audit.writeConflicts();
+    ASSERT_EQ(wc.size(), 1u);
+    EXPECT_EQ(wc[0].object, "fixture.shared");
+    EXPECT_EQ(wc[0].kind, "write-write");
+    EXPECT_EQ(wc[0].firstTick, 100u);
+    EXPECT_EQ(wc[0].firstRun, "selftest");
+    EXPECT_NE(wc[0].laneA, wc[0].laneB);
+}
+
+TEST(LaneAudit, FlagsCrossLaneReadOfSameTickWrite)
+{
+    AuditFixture fx;
+    sim::Simulator sim;
+    sim::LaneId lane1 = sim.createLane();
+    std::uint32_t obj = fx.audit.registerObject("fixture.shared");
+
+    sim.scheduleOnAt(sim::kDefaultLane, 50, [&] {
+        fx.audit.record(obj, sim::LaneAudit::Access::Write);
+    });
+    sim.scheduleOnAt(lane1, 50, [&] {
+        fx.audit.record(obj, sim::LaneAudit::Access::Read);
+    });
+    sim.runUntil(100);
+
+    std::vector<sim::LaneAudit::Conflict> wc = fx.audit.writeConflicts();
+    ASSERT_EQ(wc.size(), 1u);
+    EXPECT_EQ(wc[0].kind, "read-write");
+}
+
+TEST(LaneAudit, SameLaneAndDifferentTickAreClean)
+{
+    AuditFixture fx;
+    sim::Simulator sim;
+    sim::LaneId lane1 = sim.createLane();
+    std::uint32_t obj = fx.audit.registerObject("fixture.shared");
+
+    // Same lane, same tick: ordered by (when, seq) — no conflict.
+    sim.scheduleOnAt(lane1, 10, [&] {
+        fx.audit.record(obj, sim::LaneAudit::Access::Write);
+    });
+    sim.scheduleOnAt(lane1, 10, [&] {
+        fx.audit.record(obj, sim::LaneAudit::Access::Write);
+    });
+    // Cross-lane but different ticks: ordered by time — no conflict.
+    sim.scheduleOnAt(sim::kDefaultLane, 20, [&] {
+        fx.audit.record(obj, sim::LaneAudit::Access::Write);
+    });
+    sim.scheduleOnAt(lane1, 30, [&] {
+        fx.audit.record(obj, sim::LaneAudit::Access::Write);
+    });
+    sim.runUntil(100);
+
+    EXPECT_TRUE(fx.audit.writeConflicts().empty());
+    EXPECT_EQ(fx.audit.recordedAccesses(), 4u);
+}
+
+TEST(LaneAudit, CrossLaneReadsAreCensusedButNotGated)
+{
+    AuditFixture fx;
+    sim::Simulator sim;
+    sim::LaneId lane1 = sim.createLane();
+    std::uint32_t obj = fx.audit.registerObject("fixture.shared");
+
+    sim.scheduleOnAt(sim::kDefaultLane, 5, [&] {
+        fx.audit.record(obj, sim::LaneAudit::Access::Read);
+    });
+    sim.scheduleOnAt(lane1, 5, [&] {
+        fx.audit.record(obj, sim::LaneAudit::Access::Read);
+    });
+    sim.runUntil(100);
+
+    EXPECT_TRUE(fx.audit.writeConflicts().empty());
+    std::vector<sim::LaneAudit::Conflict> all = fx.audit.census();
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_EQ(all[0].kind, "read-read");
+}
+
+TEST(LaneAudit, AccessesOutsideEventsAndWhenDisabledAreIgnored)
+{
+    AuditFixture fx;
+    std::uint32_t obj = fx.audit.registerObject("fixture.shared");
+
+    // No event context: construction-time access, not recorded.
+    fx.audit.record(obj, sim::LaneAudit::Access::Write);
+    EXPECT_EQ(fx.audit.recordedAccesses(), 0u);
+
+    // Disabled: the EventScope does not arm, nothing is recorded.
+    fx.audit.disable();
+    sim::Simulator sim;
+    sim.scheduleOnAt(sim::kDefaultLane, 1, [&] {
+        fx.audit.record(obj, sim::LaneAudit::Access::Write);
+    });
+    sim.runUntil(10);
+    EXPECT_EQ(fx.audit.recordedAccesses(), 0u);
+}
+
+TEST(LaneAudit, CensusRanksByCountThenName)
+{
+    AuditFixture fx;
+    sim::Simulator sim;
+    sim::LaneId lane1 = sim.createLane();
+    std::uint32_t hot = fx.audit.registerObject("fixture.hot");
+    std::uint32_t cold = fx.audit.registerObject("fixture.cold");
+
+    for (sim::Tick t = 1; t <= 3; ++t) {
+        sim.scheduleOnAt(sim::kDefaultLane, t, [&] {
+            fx.audit.record(hot, sim::LaneAudit::Access::Write);
+        });
+        sim.scheduleOnAt(lane1, t, [&] {
+            fx.audit.record(hot, sim::LaneAudit::Access::Write);
+        });
+    }
+    sim.scheduleOnAt(sim::kDefaultLane, 7, [&] {
+        fx.audit.record(cold, sim::LaneAudit::Access::Write);
+    });
+    sim.scheduleOnAt(lane1, 7, [&] {
+        fx.audit.record(cold, sim::LaneAudit::Access::Write);
+    });
+    sim.runUntil(100);
+
+    std::vector<sim::LaneAudit::Conflict> wc = fx.audit.writeConflicts();
+    ASSERT_EQ(wc.size(), 2u);
+    EXPECT_EQ(wc[0].object, "fixture.hot");
+    EXPECT_GT(wc[0].count, wc[1].count);
+    EXPECT_EQ(wc[1].object, "fixture.cold");
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * bms-lint CLI — see lint.hh for the rule catalog.
+ *
+ *   bms-lint [--as-path=PATH] FILE...          lint source files
+ *   bms-lint --list-rules                      print the catalog
+ *   bms-lint --check-census BASELINE CENSUS... lane-census gate
+ *   bms-lint --merge-census OUT CENSUS...      fold runs into one census
+ *
+ * Exit status: 0 clean, 1 violations/unbaselined conflicts, 2 usage
+ * or I/O error. Output is one `file:line: [rule] message` per
+ * violation — the format scripts/check.sh and editors expect.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bms::lint;
+
+    std::string asPath;
+    std::vector<std::string> files;
+    bool censusMode = false;
+    bool mergeMode = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--list-rules") == 0) {
+            for (const RuleInfo &r : ruleCatalog())
+                std::printf("%-15s %s\n", r.id, r.summary);
+            return 0;
+        } else if (std::strcmp(a, "--check-census") == 0) {
+            censusMode = true;
+        } else if (std::strcmp(a, "--merge-census") == 0) {
+            mergeMode = true;
+        } else if (std::strncmp(a, "--as-path=", 10) == 0) {
+            asPath = a + 10;
+        } else if (a[0] == '-' && a[1] == '-') {
+            std::fprintf(stderr, "bms-lint: unknown flag %s\n", a);
+            return 2;
+        } else {
+            files.emplace_back(a);
+        }
+    }
+
+    if (mergeMode) {
+        if (files.size() < 2) {
+            std::fprintf(stderr, "usage: bms-lint --merge-census OUT "
+                                 "CENSUS...\n");
+            return 2;
+        }
+        std::string out = files.front();
+        files.erase(files.begin());
+        std::string error;
+        if (!mergeCensus(out, files, error)) {
+            std::fprintf(stderr, "bms-lint: %s\n", error.c_str());
+            return 2;
+        }
+        return 0;
+    }
+
+    if (censusMode) {
+        if (files.size() < 2) {
+            std::fprintf(stderr, "usage: bms-lint --check-census "
+                                 "BASELINE CENSUS...\n");
+            return 2;
+        }
+        std::string baseline = files.front();
+        files.erase(files.begin());
+        std::string error;
+        std::vector<std::string> bad =
+            checkCensus(baseline, files, error);
+        if (!error.empty()) {
+            std::fprintf(stderr, "bms-lint: %s\n", error.c_str());
+            return 2;
+        }
+        for (const std::string &b : bad) {
+            std::fprintf(stderr,
+                         "bms-lint: unbaselined cross-lane write "
+                         "conflict: %s\n",
+                         b.c_str());
+        }
+        if (!bad.empty()) {
+            std::fprintf(stderr,
+                         "bms-lint: %zu conflict(s) not in %s — new "
+                         "same-tick cross-lane write sharing; shard "
+                         "the object per lane or re-baseline with a "
+                         "written rationale (DESIGN.md §13)\n",
+                         bad.size(), baseline.c_str());
+            return 1;
+        }
+        std::printf("bms-lint: lane census clean against %s\n",
+                    baseline.c_str());
+        return 0;
+    }
+
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "usage: bms-lint [--as-path=PATH] FILE...\n"
+                     "       bms-lint --list-rules\n"
+                     "       bms-lint --check-census BASELINE "
+                     "CENSUS...\n"
+                     "       bms-lint --merge-census OUT CENSUS...\n");
+        return 2;
+    }
+    if (!asPath.empty() && files.size() != 1) {
+        std::fprintf(stderr,
+                     "bms-lint: --as-path applies to exactly one "
+                     "file\n");
+        return 2;
+    }
+
+    std::size_t total = 0;
+    bool ioError = false;
+    for (const std::string &f : files) {
+        for (const Violation &v : lintFile(f, asPath)) {
+            std::printf("%s:%d: [%s] %s\n", v.file.c_str(), v.line,
+                        v.rule.c_str(), v.message.c_str());
+            ++total;
+            if (v.rule == "io-error")
+                ioError = true;
+        }
+    }
+    if (ioError)
+        return 2;
+    if (total > 0) {
+        std::fprintf(stderr, "bms-lint: %zu violation(s)\n", total);
+        return 1;
+    }
+    return 0;
+}
