@@ -110,6 +110,13 @@ run_san() {
     echo "== ASan+UBSan fuzz (tiering seeds) =="
     ./build-asan/fuzz --seeds=401:404 --horizon-ms=120 --min-ssds=2 \
         --remote-nodes=2 --force-tiering || fail=1
+    # The pinned thin-provisioning seeds: every tenant thin (allocate
+    # on first write, TRIMs in the stream), a forced mid-run snapshot
+    # of tenant 0, a clone verified against the snapshot's stamp
+    # lineage, and a late snapshot delete — chunk CoW under live I/O.
+    echo "== ASan+UBSan fuzz (thin/snapshot seeds) =="
+    ./build-asan/fuzz --seeds=501:504 --horizon-ms=30 \
+        --force-thin || fail=1
     # Quick-mode full-card sweep: catches lane-sharding perf
     # regressions via the events/sec floor (set low — ASan costs
     # roughly an order of magnitude of simulator speed).
@@ -143,6 +150,8 @@ run_lane() {
     ./${out}/fuzz --seeds=401:404 --horizon-ms=60 --min-ssds=2 \
         --remote-nodes=2 --force-tiering \
         --lane-audit-out=${out}/census_tiering.json >/dev/null || fail=1
+    ./${out}/fuzz --seeds=501:504 --horizon-ms=20 --force-thin \
+        --lane-audit-out=${out}/census_thin.json >/dev/null || fail=1
     ./${out}/bench/ext_full_card --quick --events-floor=50000 \
         --wall-limit-s=300 \
         --lane-audit-out=${out}/census_full_card.json \

@@ -36,6 +36,42 @@ BmsController::BmsController(sim::Simulator &sim, std::string name,
                std::uint32_t chunk) {
             return _tiering->isSpilled(fn, nsid, chunk);
         });
+    // Thin-provisioning back-ends for the engine data path: chunk
+    // reservation/release against the namespace manager's pools, and
+    // chunk CoW through the migration copy machinery (QoS-paced
+    // segments, atomic map flip at cutover).
+    _engine.targetController().setThinHooks(
+        [this](pcie::FunctionId fn, std::uint32_t nsid,
+               std::uint32_t chunk_index)
+            -> std::optional<TargetController::ThinPlacement> {
+            auto a = _nsMgr.allocateChunkAt(fn, nsid, chunk_index);
+            if (!a)
+                return std::nullopt;
+            return TargetController::ThinPlacement{a->slot, a->chunk};
+        },
+        [this](pcie::FunctionId fn, std::uint32_t nsid,
+               std::uint32_t chunk_index) {
+            return _nsMgr.freeChunkAt(fn, nsid, chunk_index);
+        },
+        [this](pcie::FunctionId fn, std::uint32_t nsid,
+               std::uint32_t chunk_index, std::function<void(bool)> done) {
+            MigrationManager::Options opts;
+            opts.cowSource = true;
+            bool accepted = _migration->migrate(
+                fn, nsid, chunk_index, MigrationManager::kAutoSlot, opts,
+                [done](MigrationManager::Report rep) { done(rep.ok); });
+            if (!accepted)
+                done(false);
+        },
+        [this](pcie::FunctionId fn, std::uint32_t nsid, bool acquire) {
+            if (acquire) {
+                bool locked = _nsMgr.lockNs(fn, nsid);
+                BMS_ASSERT(locked, "chunk op on unknown namespace fn=",
+                           fn, " nsid=", nsid);
+            } else {
+                _nsMgr.unlockNs(fn, nsid);
+            }
+        });
 }
 
 void
@@ -119,11 +155,13 @@ BmsController::dispatch(Eid src, const MiMessage &req)
         QosLimits qos;
         qos.iopsLimit = r.f64();
         qos.mbPerSecLimit = r.f64();
+        bool thin = r.u8() != 0;
         if (!r.ok()) {
             respond(src, req, MiStatus::InvalidParameter, {});
             return;
         }
-        auto nsid = _nsMgr.createAndAttach(fn, bytes, policy, qos);
+        auto nsid = thin ? _nsMgr.createThin(fn, bytes, policy, qos)
+                         : _nsMgr.createAndAttach(fn, bytes, policy, qos);
         if (!nsid) {
             respond(src, req, MiStatus::InternalError, {});
             return;
@@ -189,6 +227,7 @@ BmsController::dispatch(Eid src, const MiMessage &req)
             w.u64(o.total);
             w.u64(o.used);
             w.u64(o.free);
+            w.u64(o.logical);
             w.u8(o.quiesced ? 1 : 0);
             w.u64(chunk_bytes);
         }
@@ -335,6 +374,7 @@ BmsController::dispatch(Eid src, const MiMessage &req)
             w.u64(o.total);
             w.u64(o.used);
             w.u64(o.free);
+            w.u64(o.logical);
             w.u8(o.quiesced ? 1 : 0);
             w.u64(chunk_bytes);
         }
@@ -409,6 +449,65 @@ BmsController::dispatch(Eid src, const MiMessage &req)
                                : MiStatus::InternalError,
                         w.take());
             });
+        return;
+      }
+      case MiOpcode::VendorSnapshot: {
+        auto fn = static_cast<pcie::FunctionId>(r.u8());
+        std::uint32_t nsid = r.u32();
+        if (!r.ok()) {
+            respond(src, req, MiStatus::InvalidParameter, {});
+            return;
+        }
+        auto id = _nsMgr.snapshot(fn, nsid);
+        if (!id) {
+            respond(src, req, MiStatus::InternalError, {});
+            return;
+        }
+        wire::Writer w;
+        w.u32(*id);
+        // Listing tail: every live snapshot, so one verb doubles as
+        // `snapshots` for the console.
+        auto snaps = _nsMgr.snapshots();
+        w.u16(static_cast<std::uint16_t>(
+            std::min<std::size_t>(snaps.size(), 0xFFFF)));
+        std::size_t n = 0;
+        for (const auto &s : snaps) {
+            if (n++ == 0xFFFF)
+                break;
+            w.u32(s.id);
+            w.u8(static_cast<std::uint8_t>(s.srcFn));
+            w.u32(s.srcNsid);
+            w.u64(s.sizeBlocks);
+            w.u32(s.chunks);
+        }
+        respond(src, req, MiStatus::Success, w.take());
+        return;
+      }
+      case MiOpcode::VendorClone: {
+        std::uint32_t snap_id = r.u32();
+        auto fn = static_cast<pcie::FunctionId>(r.u8());
+        QosLimits qos;
+        qos.iopsLimit = r.f64();
+        qos.mbPerSecLimit = r.f64();
+        if (!r.ok()) {
+            respond(src, req, MiStatus::InvalidParameter, {});
+            return;
+        }
+        auto nsid = _nsMgr.clone(snap_id, fn, qos);
+        if (!nsid) {
+            respond(src, req, MiStatus::InvalidParameter, {});
+            return;
+        }
+        wire::Writer w;
+        w.u32(*nsid);
+        respond(src, req, MiStatus::Success, w.take());
+        return;
+      }
+      case MiOpcode::VendorDeleteSnapshot: {
+        std::uint32_t snap_id = r.u32();
+        bool ok = r.ok() && _nsMgr.deleteSnapshot(snap_id);
+        respond(src, req,
+                ok ? MiStatus::Success : MiStatus::InvalidParameter, {});
         return;
       }
       case MiOpcode::VendorListNamespaces:

@@ -149,6 +149,12 @@ MigrationManager::startNext()
         failBeforeCopy("source chunk is tier-spilled (promote it instead)");
         return;
     }
+    if (!j.opts.cowSource && _ns.locked(j.fn, j.nsid)) {
+        // A chunk operation (allocation scrub, CoW, trim) pins the
+        // namespace; moving chunks under it would race the scrub.
+        failBeforeCopy("namespace busy with a chunk operation");
+        return;
+    }
     j.srcSlot = alloc->slot;
     j.srcChunk = alloc->chunk;
     const LbaMapGeometry &geom = binding->map.geometry();
@@ -164,10 +170,21 @@ MigrationManager::startNext()
         failBeforeCopy("record/table placement mismatch");
         return;
     }
+    if (!j.opts.cowSource && binding->map.entryShared(j.row, j.col)) {
+        // A snapshot pins the source chunk; a generic move would
+        // either strand the pinned image or double-place the chunk.
+        // Only the chunk-CoW path copies off a shared entry.
+        failBeforeCopy("source chunk is snapshot-shared (chunk CoW only)");
+        return;
+    }
 
-    int dst = j.dstSlot == kAutoSlot ? pickDestination(j.srcSlot)
-                                     : j.dstSlot;
-    if (dst < 0 || dst == j.srcSlot || dst >= _engine.ssdSlots()) {
+    // CoW may land on the source's own slot — it separates ownership,
+    // not placement — so only generic moves exclude it.
+    int dst = j.dstSlot == kAutoSlot
+                  ? pickDestination(j.opts.cowSource ? -1 : j.srcSlot)
+                  : j.dstSlot;
+    if (dst < 0 || (dst == j.srcSlot && !j.opts.cowSource) ||
+        dst >= _engine.ssdSlots()) {
         failBeforeCopy("no usable destination slot");
         return;
     }

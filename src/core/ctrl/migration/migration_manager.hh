@@ -135,6 +135,16 @@ class MigrationManager : public sim::SimObject
          */
         bool allowTieredSource = false;
         /**
+         * This job is a chunk copy-on-write triggered by a tenant
+         * write through a snapshot-shared mapping entry. It relaxes
+         * three generic-move refusals: the source may carry a shared
+         * entry (that is the point), the namespace may be locked (the
+         * TargetController pins it for the chunk op that queued this
+         * very job), and the destination may be the source's own slot
+         * (CoW changes ownership, not placement).
+         */
+        bool cowSource = false;
+        /**
          * Per-job segment-retry cap (-1 = config default). Tier
          * moves lower it: the remote transport already retries each
          * I/O internally, and a write held behind a fenced segment

@@ -23,6 +23,24 @@ NamespaceManager::poolFor(int slot) const
     return nullptr;
 }
 
+NamespaceManager::NsRecord *
+NamespaceManager::recordFor(pcie::FunctionId fn, std::uint32_t nsid)
+{
+    for (auto &rec : _records)
+        if (rec.fn == fn && rec.nsid == nsid)
+            return &rec;
+    return nullptr;
+}
+
+const NamespaceManager::NsRecord *
+NamespaceManager::recordFor(pcie::FunctionId fn, std::uint32_t nsid) const
+{
+    for (const auto &rec : _records)
+        if (rec.fn == fn && rec.nsid == nsid)
+            return &rec;
+    return nullptr;
+}
+
 void
 NamespaceManager::registerSsd(int slot, std::uint64_t capacity_bytes,
                               bool remote)
@@ -35,7 +53,7 @@ NamespaceManager::registerSsd(int slot, std::uint64_t capacity_bytes,
         chunks, static_cast<std::uint64_t>(_geom.maxChunkBase()) + 1);
     Pool pool;
     pool.slot = slot;
-    pool.used.assign(chunks, false);
+    pool.refs.assign(chunks, 0);
     pool.remote = remote;
     BMS_LANE_AUDIT_NAME(pool.audit,
                         "chunkpool.slot" + std::to_string(slot));
@@ -64,10 +82,10 @@ NamespaceManager::allocate(std::uint32_t chunks, Policy policy,
         // fill via the tiering manager (or an explicit Dedicate pin).
         if (pool.remote && policy != Policy::Dedicate)
             return false;
-        for (std::size_t c = 0; c < pool.used.size(); ++c) {
-            if (!pool.used[c]) {
+        for (std::size_t c = 0; c < pool.refs.size(); ++c) {
+            if (pool.refs[c] == 0) {
                 BMS_LANE_AUDIT_WRITE(pool.audit);
-                pool.used[c] = true;
+                pool.refs[c] = 1;
                 out.push_back(Allocation{static_cast<std::uint8_t>(pool.slot),
                                          static_cast<std::uint8_t>(c)});
                 return true;
@@ -109,10 +127,9 @@ void
 NamespaceManager::release(const std::vector<Allocation> &allocs)
 {
     for (const Allocation &a : allocs) {
-        if (Pool *pool = poolFor(a.slot)) {
-            BMS_LANE_AUDIT_WRITE(pool->audit);
-            pool->used[a.chunk] = false;
-        }
+        if (a.unallocated())
+            continue;
+        releaseChunk(a.slot, a.chunk);
     }
 }
 
@@ -149,7 +166,33 @@ NamespaceManager::createAndAttach(pcie::FunctionId fn, std::uint64_t bytes,
     }
     if (!qos.unlimited())
         _engine.setQos(fn, nsid, qos);
-    _records.push_back(NsRecord{fn, nsid, std::move(*allocs), 0});
+    _records.push_back(NsRecord{fn, nsid, std::move(*allocs), 0, false,
+                                policy, pin_slot});
+    return nsid;
+}
+
+std::optional<std::uint32_t>
+NamespaceManager::createThin(pcie::FunctionId fn, std::uint64_t bytes,
+                             Policy policy, QosLimits qos, int pin_slot)
+{
+    std::uint64_t chunk_bytes = chunkBlocks() * nvme::kBlockSize;
+    auto chunks = static_cast<std::uint32_t>(
+        (bytes + chunk_bytes - 1) / chunk_bytes);
+    if (chunks == 0)
+        return std::nullopt;
+    // Only the mapping table bounds a thin namespace — the pools may
+    // be promised many times over (overcommit).
+    if (chunks > _geom.rows * _geom.entriesPerRow)
+        return std::nullopt;
+
+    std::uint32_t nsid = _nextNsid[fn]++;
+    _engine.bind(fn, nsid, bytes / nvme::kBlockSize, _geom);
+    if (!qos.unlimited())
+        _engine.setQos(fn, nsid, qos);
+    _records.push_back(NsRecord{
+        fn, nsid,
+        std::vector<Allocation>(chunks, Allocation{kUnallocSlot, 0}), 0,
+        true, policy, pin_slot});
     return nsid;
 }
 
@@ -158,11 +201,8 @@ NamespaceManager::grow(pcie::FunctionId fn, std::uint32_t nsid,
                        std::uint64_t extra_bytes, Policy policy,
                        int pin_slot)
 {
-    auto it = std::find_if(_records.begin(), _records.end(),
-                           [fn, nsid](const NsRecord &r) {
-                               return r.fn == fn && r.nsid == nsid;
-                           });
-    if (it == _records.end())
+    NsRecord *rec = recordFor(fn, nsid);
+    if (!rec)
         return std::nullopt;
     NsBinding *binding = _engine.findBinding(fn, nsid);
     BMS_ASSERT(binding, "namespace record without engine binding: fn=",
@@ -179,21 +219,27 @@ NamespaceManager::grow(pcie::FunctionId fn, std::uint32_t nsid,
                             geom.entriesPerRow) {
         return std::nullopt;
     }
-    // The mapped chunks may already cover the new size (the original
-    // size was rounded up to whole chunks for allocation).
-    std::uint32_t current = binding->map.validCount();
+    // The covered chunks may already span the new size (the original
+    // size was rounded up to whole chunks).
+    std::uint64_t current = rec->allocs.size();
     if (chunks_needed > current) {
-        auto allocs = allocate(
-            static_cast<std::uint32_t>(chunks_needed - current), policy,
-            pin_slot);
-        if (!allocs)
-            return std::nullopt;
-        for (const Allocation &a : *allocs) {
-            auto pos = binding->map.appendChunk(a.chunk, a.slot);
-            BMS_ASSERT(pos, "mapping table full despite size check");
+        if (rec->thin) {
+            // Thin growth promises more chunks; backing arrives on
+            // first write like any other thin chunk.
+            rec->allocs.resize(chunks_needed, Allocation{kUnallocSlot, 0});
+        } else {
+            auto allocs = allocate(
+                static_cast<std::uint32_t>(chunks_needed - current), policy,
+                pin_slot);
+            if (!allocs)
+                return std::nullopt;
+            for (const Allocation &a : *allocs) {
+                auto pos = binding->map.appendChunk(a.chunk, a.slot);
+                BMS_ASSERT(pos, "mapping table full despite size check");
+            }
+            rec->allocs.insert(rec->allocs.end(), allocs->begin(),
+                               allocs->end());
         }
-        it->allocs.insert(it->allocs.end(), allocs->begin(),
-                          allocs->end());
     }
     binding->info.sizeBlocks = new_blocks;
     return new_blocks * nvme::kBlockSize;
@@ -212,9 +258,14 @@ NamespaceManager::destroy(pcie::FunctionId fn, std::uint32_t nsid)
     // free the destination chunk under the copier's feet.
     if (it->locks > 0)
         return false;
-    release(it->allocs);
-    _engine.unbind(fn, nsid);
+    // Erase the record before releasing so the shared-bit owner scan
+    // in maybeClearShared() no longer sees the dying namespace.
+    std::vector<Allocation> allocs = std::move(it->allocs);
     _records.erase(it);
+    _engine.unbind(fn, nsid);
+    release(allocs);
+    if (sim::Check::paranoid())
+        checkRefInvariants(false);
     return true;
 }
 
@@ -224,7 +275,7 @@ NamespaceManager::freeChunks(int slot) const
     if (const Pool *pool = poolFor(slot)) {
         BMS_LANE_AUDIT_READ(pool->audit);
         return static_cast<std::uint64_t>(
-            std::count(pool->used.begin(), pool->used.end(), false));
+            std::count(pool->refs.begin(), pool->refs.end(), 0));
     }
     return 0;
 }
@@ -233,7 +284,7 @@ std::uint64_t
 NamespaceManager::totalChunks(int slot) const
 {
     if (const Pool *pool = poolFor(slot))
-        return pool->used.size();
+        return pool->refs.size();
     return 0;
 }
 
@@ -246,9 +297,11 @@ NamespaceManager::occupancy() const
         BMS_LANE_AUDIT_READ(pool.audit);
         Occupancy o;
         o.slot = pool.slot;
-        o.total = pool.used.size();
+        o.total = pool.refs.size();
         o.used = static_cast<std::uint64_t>(
-            std::count(pool.used.begin(), pool.used.end(), true));
+            pool.refs.size() -
+            static_cast<std::size_t>(
+                std::count(pool.refs.begin(), pool.refs.end(), 0)));
         o.free = o.total - o.used;
         o.quiesced = pool.quiesce > 0;
         o.remote = pool.remote;
@@ -258,6 +311,39 @@ NamespaceManager::occupancy() const
               [](const Occupancy &a, const Occupancy &b) {
                   return a.slot < b.slot;
               });
+    // Logical (promised) chunks: allocated chunks attribute to their
+    // slot; unallocated thin chunks have no placement yet, so they
+    // are spread evenly over the allocatable local slots (in slot
+    // order) — the per-slot numbers always sum to the true promise.
+    std::uint64_t unplaced = 0;
+    for (const NsRecord &rec : _records) {
+        for (const Allocation &a : rec.allocs) {
+            if (a.unallocated()) {
+                ++unplaced;
+                continue;
+            }
+            for (Occupancy &o : out) {
+                if (o.slot == a.slot) {
+                    ++o.logical;
+                    break;
+                }
+            }
+        }
+    }
+    std::uint64_t eligible = 0;
+    for (const Occupancy &o : out)
+        if (!o.remote)
+            ++eligible;
+    if (eligible > 0) {
+        std::uint64_t k = 0;
+        for (Occupancy &o : out) {
+            if (o.remote)
+                continue;
+            o.logical += unplaced / eligible +
+                         (k < unplaced % eligible ? 1 : 0);
+            ++k;
+        }
+    }
     return out;
 }
 
@@ -267,7 +353,8 @@ NamespaceManager::chunksOn(int slot) const
     std::vector<ChunkRef> out;
     for (const NsRecord &rec : _records) {
         for (std::size_t i = 0; i < rec.allocs.size(); ++i) {
-            if (rec.allocs[i].slot == slot) {
+            if (!rec.allocs[i].unallocated() &&
+                rec.allocs[i].slot == slot) {
                 out.push_back(ChunkRef{rec.fn, rec.nsid,
                                        static_cast<std::uint32_t>(i),
                                        rec.allocs[i].slot,
@@ -282,14 +369,290 @@ std::optional<NamespaceManager::Allocation>
 NamespaceManager::chunkAt(pcie::FunctionId fn, std::uint32_t nsid,
                           std::uint32_t chunk_index) const
 {
-    for (const NsRecord &rec : _records) {
-        if (rec.fn != fn || rec.nsid != nsid)
-            continue;
-        if (chunk_index >= rec.allocs.size())
-            return std::nullopt;
-        return rec.allocs[chunk_index];
+    const NsRecord *rec = recordFor(fn, nsid);
+    if (!rec || chunk_index >= rec->allocs.size() ||
+        rec->allocs[chunk_index].unallocated()) {
+        return std::nullopt;
     }
-    return std::nullopt;
+    return rec->allocs[chunk_index];
+}
+
+bool
+NamespaceManager::isThin(pcie::FunctionId fn, std::uint32_t nsid) const
+{
+    const NsRecord *rec = recordFor(fn, nsid);
+    return rec && rec->thin;
+}
+
+std::optional<NamespaceManager::Allocation>
+NamespaceManager::allocateChunkAt(pcie::FunctionId fn, std::uint32_t nsid,
+                                  std::uint32_t chunk_index)
+{
+    NsRecord *rec = recordFor(fn, nsid);
+    if (!rec || chunk_index >= rec->allocs.size())
+        return std::nullopt;
+    BMS_ASSERT(rec->thin, "allocate-on-write into a fully provisioned "
+               "namespace: fn=", fn, " nsid=", nsid);
+    BMS_ASSERT(rec->allocs[chunk_index].unallocated(),
+               "allocate-on-write of an already backed chunk: fn=", fn,
+               " nsid=", nsid, " chunk=", chunk_index);
+    auto allocs = allocate(1, rec->policy, rec->pinSlot);
+    if (!allocs)
+        return std::nullopt;
+    rec->allocs[chunk_index] = allocs->front();
+    return allocs->front();
+}
+
+bool
+NamespaceManager::freeChunkAt(pcie::FunctionId fn, std::uint32_t nsid,
+                              std::uint32_t chunk_index)
+{
+    NsRecord *rec = recordFor(fn, nsid);
+    if (!rec || chunk_index >= rec->allocs.size() ||
+        rec->allocs[chunk_index].unallocated()) {
+        return false;
+    }
+    NsBinding *binding = _engine.findBinding(fn, nsid);
+    BMS_ASSERT(binding, "namespace record without engine binding: fn=",
+               fn, " nsid=", nsid);
+    const LbaMapGeometry &geom = binding->map.geometry();
+    binding->map.invalidate(chunk_index / geom.entriesPerRow,
+                            chunk_index % geom.entriesPerRow);
+    Allocation a = rec->allocs[chunk_index];
+    rec->allocs[chunk_index] = Allocation{kUnallocSlot, 0};
+    rec->thin = true; // it now has a hole: backing returns on write
+    releaseChunk(a.slot, a.chunk);
+    if (sim::Check::paranoid())
+        checkRefInvariants(false);
+    return true;
+}
+
+std::optional<std::uint32_t>
+NamespaceManager::snapshot(pcie::FunctionId fn, std::uint32_t nsid)
+{
+    NsRecord *rec = recordFor(fn, nsid);
+    if (!rec || rec->locks > 0)
+        return std::nullopt;
+    NsBinding *binding = _engine.findBinding(fn, nsid);
+    BMS_ASSERT(binding, "namespace record without engine binding: fn=",
+               fn, " nsid=", nsid);
+    const LbaMapGeometry &geom = binding->map.geometry();
+    // Validate before mutating: no chunk on a remote tier slot (the
+    // CoW copy path and pin accounting are local-only), and no thin
+    // allocation mid-scrub (alloc recorded, entry not yet live).
+    for (std::size_t i = 0; i < rec->allocs.size(); ++i) {
+        const Allocation &a = rec->allocs[i];
+        if (a.unallocated())
+            continue;
+        const Pool *pool = poolFor(a.slot);
+        if (!pool || pool->remote)
+            return std::nullopt;
+        if (!binding->map.entryValid(
+                static_cast<std::uint32_t>(i / geom.entriesPerRow),
+                static_cast<std::uint32_t>(i % geom.entriesPerRow))) {
+            return std::nullopt;
+        }
+    }
+    std::uint32_t chunks = 0;
+    for (std::size_t i = 0; i < rec->allocs.size(); ++i) {
+        const Allocation &a = rec->allocs[i];
+        if (a.unallocated())
+            continue;
+        retainChunk(a.slot, a.chunk);
+        binding->map.setShared(
+            static_cast<std::uint32_t>(i / geom.entriesPerRow),
+            static_cast<std::uint32_t>(i % geom.entriesPerRow), true);
+        ++chunks;
+    }
+    (void)chunks;
+    std::uint32_t id = _nextSnapId++;
+    _snaps.push_back(SnapRecord{id, fn, nsid, binding->info.sizeBlocks,
+                                rec->allocs, rec->policy, rec->pinSlot});
+    if (sim::Check::paranoid())
+        checkRefInvariants(false);
+    return id;
+}
+
+std::optional<std::uint32_t>
+NamespaceManager::clone(std::uint32_t snap_id, pcie::FunctionId fn,
+                        QosLimits qos)
+{
+    const SnapRecord *snap = nullptr;
+    for (const SnapRecord &s : _snaps)
+        if (s.id == snap_id)
+            snap = &s;
+    if (!snap)
+        return std::nullopt;
+    std::uint32_t nsid = _nextNsid[fn]++;
+    NsBinding &binding = _engine.bind(fn, nsid, snap->sizeBlocks, _geom);
+    const LbaMapGeometry &geom = binding.map.geometry();
+    for (std::size_t i = 0; i < snap->allocs.size(); ++i) {
+        const Allocation &a = snap->allocs[i];
+        if (a.unallocated())
+            continue;
+        auto row = static_cast<std::uint32_t>(i / geom.entriesPerRow);
+        auto col = static_cast<std::uint32_t>(i % geom.entriesPerRow);
+        bool ok = binding.map.setEntry(row, col, a.chunk, a.slot);
+        BMS_ASSERT(ok, "clone mapping entry out of geometry: slot=",
+                   int(a.slot), " chunk=", int(a.chunk));
+        binding.map.setShared(row, col, true);
+        retainChunk(a.slot, a.chunk);
+    }
+    if (!qos.unlimited())
+        _engine.setQos(fn, nsid, qos);
+    // A clone is thin by construction: never-written chunks stay
+    // unallocated and every inherited chunk CoWs on first write.
+    _records.push_back(NsRecord{fn, nsid, snap->allocs, 0, true,
+                                snap->policy, snap->pinSlot});
+    if (sim::Check::paranoid())
+        checkRefInvariants(false);
+    return nsid;
+}
+
+bool
+NamespaceManager::deleteSnapshot(std::uint32_t snap_id)
+{
+    auto it = std::find_if(_snaps.begin(), _snaps.end(),
+                           [snap_id](const SnapRecord &s) {
+                               return s.id == snap_id;
+                           });
+    if (it == _snaps.end())
+        return false;
+    // Erase first so the owner scan in maybeClearShared() sees only
+    // the surviving owners.
+    std::vector<Allocation> allocs = std::move(it->allocs);
+    _snaps.erase(it);
+    release(allocs);
+    if (sim::Check::paranoid())
+        checkRefInvariants(false);
+    return true;
+}
+
+std::vector<NamespaceManager::SnapInfo>
+NamespaceManager::snapshots() const
+{
+    std::vector<SnapInfo> out;
+    out.reserve(_snaps.size());
+    for (const SnapRecord &s : _snaps) {
+        SnapInfo info;
+        info.id = s.id;
+        info.srcFn = s.srcFn;
+        info.srcNsid = s.srcNsid;
+        info.sizeBlocks = s.sizeBlocks;
+        for (const Allocation &a : s.allocs)
+            if (!a.unallocated())
+                ++info.chunks;
+        out.push_back(info);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SnapInfo &a, const SnapInfo &b) {
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+std::uint16_t
+NamespaceManager::chunkRefs(int slot, std::uint8_t chunk) const
+{
+    const Pool *pool = poolFor(slot);
+    if (!pool || chunk >= pool->refs.size())
+        return 0;
+    return pool->refs[chunk];
+}
+
+void
+NamespaceManager::retainChunk(int slot, std::uint8_t chunk)
+{
+    Pool *pool = poolFor(slot);
+    BMS_ASSERT(pool && chunk < pool->refs.size(),
+               "retainChunk outside pool: slot=", slot, " chunk=",
+               int(chunk));
+    BMS_ASSERT(pool->refs[chunk] > 0, "retain of a free chunk ",
+               int(chunk), " on slot ", slot);
+    BMS_LANE_AUDIT_WRITE(pool->audit);
+    ++pool->refs[chunk];
+}
+
+void
+NamespaceManager::maybeClearShared(int slot, std::uint8_t chunk)
+{
+    const Pool *pool = poolFor(slot);
+    if (!pool || chunk >= pool->refs.size() || pool->refs[chunk] != 1)
+        return;
+    // Exactly one owner remains. If it is a namespace, its mapping
+    // entry no longer needs CoW protection; a snapshot owner has no
+    // mapping table to update.
+    for (const NsRecord &rec : _records) {
+        for (std::size_t i = 0; i < rec.allocs.size(); ++i) {
+            const Allocation &a = rec.allocs[i];
+            if (a.unallocated() || a.slot != slot || a.chunk != chunk)
+                continue;
+            NsBinding *binding = _engine.findBinding(rec.fn, rec.nsid);
+            if (!binding)
+                continue;
+            const LbaMapGeometry &geom = binding->map.geometry();
+            binding->map.setShared(
+                static_cast<std::uint32_t>(i / geom.entriesPerRow),
+                static_cast<std::uint32_t>(i % geom.entriesPerRow), false);
+            return;
+        }
+    }
+}
+
+void
+NamespaceManager::checkRefInvariants(bool strict) const
+{
+    for (const Pool &pool : _pools) {
+        std::vector<std::uint16_t> owners(pool.refs.size(), 0);
+        for (const NsRecord &rec : _records)
+            for (const Allocation &a : rec.allocs)
+                if (!a.unallocated() && a.slot == pool.slot)
+                    ++owners[a.chunk];
+        for (const SnapRecord &snap : _snaps)
+            for (const Allocation &a : snap.allocs)
+                if (!a.unallocated() && a.slot == pool.slot)
+                    ++owners[a.chunk];
+        for (std::size_t c = 0; c < pool.refs.size(); ++c) {
+            if (strict) {
+                BMS_ASSERT_EQ(pool.refs[c], owners[c],
+                              "chunk refcount out of sync with owners: "
+                              "slot=", pool.slot, " chunk=", c, " refs=",
+                              pool.refs[c], " owners=", owners[c]);
+            } else {
+                // Mid-run a migration source carries one transient
+                // reference between cutover and idle release; a
+                // refcount BELOW the owner count is always a bug.
+                BMS_ASSERT_LE(owners[c], pool.refs[c],
+                              "chunk refcount below owner count: slot=",
+                              pool.slot, " chunk=", c, " refs=",
+                              pool.refs[c], " owners=", owners[c]);
+            }
+        }
+    }
+    // A valid mapping entry must be marked shared iff its chunk has
+    // other owners (the CoW trigger would otherwise miss or misfire).
+    for (const NsRecord &rec : _records) {
+        NsBinding *binding = _engine.findBinding(rec.fn, rec.nsid);
+        if (!binding)
+            continue;
+        const LbaMapGeometry &geom = binding->map.geometry();
+        for (std::size_t i = 0; i < rec.allocs.size(); ++i) {
+            const Allocation &a = rec.allocs[i];
+            if (a.unallocated())
+                continue;
+            auto row = static_cast<std::uint32_t>(i / geom.entriesPerRow);
+            auto col = static_cast<std::uint32_t>(i % geom.entriesPerRow);
+            if (!binding->map.entryValid(row, col))
+                continue; // thin allocation mid-scrub
+            bool shared = binding->map.entryShared(row, col);
+            bool multi = chunkRefs(a.slot, a.chunk) > 1;
+            BMS_ASSERT_EQ(shared, multi,
+                          "shared bit out of sync with refcount: fn=",
+                          rec.fn, " nsid=", rec.nsid, " chunk=", i,
+                          " shared=", shared, " refs=",
+                          chunkRefs(a.slot, a.chunk));
+        }
+    }
 }
 
 std::optional<std::uint8_t>
@@ -298,10 +661,10 @@ NamespaceManager::takeChunk(int slot)
     Pool *pool = poolFor(slot);
     if (!pool || pool->quiesce > 0)
         return std::nullopt;
-    for (std::size_t c = 0; c < pool->used.size(); ++c) {
-        if (!pool->used[c]) {
+    for (std::size_t c = 0; c < pool->refs.size(); ++c) {
+        if (pool->refs[c] == 0) {
             BMS_LANE_AUDIT_WRITE(pool->audit);
-            pool->used[c] = true;
+            pool->refs[c] = 1;
             return static_cast<std::uint8_t>(c);
         }
     }
@@ -312,13 +675,17 @@ void
 NamespaceManager::releaseChunk(int slot, std::uint8_t chunk)
 {
     Pool *pool = poolFor(slot);
-    BMS_ASSERT(pool && chunk < pool->used.size(),
+    BMS_ASSERT(pool && chunk < pool->refs.size(),
                "releaseChunk outside pool: slot=", slot, " chunk=",
                int(chunk));
-    BMS_ASSERT(pool->used[chunk], "double free of chunk ", int(chunk),
+    BMS_ASSERT(pool->refs[chunk] > 0, "double free of chunk ", int(chunk),
                " on slot ", slot);
     BMS_LANE_AUDIT_WRITE(pool->audit);
-    pool->used[chunk] = false;
+    --pool->refs[chunk];
+    // Dropping to a single owner ends CoW protection for it — every
+    // decrement path (destroy, TRIM, CoW cutover, snapshot delete)
+    // funnels through here.
+    maybeClearShared(slot, chunk);
 }
 
 bool

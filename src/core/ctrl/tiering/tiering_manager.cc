@@ -310,6 +310,12 @@ TieringManager::recoverNow(int node,
     *step = [this, rep, lost, idx, step, done_p] {
         if (*idx >= lost->size() || pickRemoteSlot() < 0) {
             auto fin = std::move(*done_p);
+            // Break the step→step reference cycle (it would leak the
+            // closure and everything it captures). This branch runs
+            // inside *step itself, so move into a local instead of
+            // assigning nullptr: the executing closure stays alive
+            // until this call returns, then everything unwinds.
+            auto self = std::move(*step);
             fin(*rep);
             return;
         }

@@ -7,7 +7,7 @@ namespace bms::core {
 LbaMapTable::LbaMapTable(LbaMapGeometry geom)
     : _geom(geom),
       _entries(static_cast<std::size_t>(geom.rows) * geom.entriesPerRow, 0),
-      _validation(geom.rows, 0)
+      _validation(geom.rows, 0), _shared(geom.rows, 0)
 {
     BMS_ASSERT(geom.rows > 0 && geom.entriesPerRow > 0,
                "degenerate mapping-table geometry: rows=", geom.rows,
@@ -35,6 +35,7 @@ LbaMapTable::setEntry(std::uint32_t row, std::uint32_t col,
             : static_cast<std::uint16_t>((chunk_base << kBaseShift) |
                                          ssd_id);
     _validation[row] |= static_cast<std::uint8_t>(1u << col);
+    _shared[row] &= static_cast<std::uint8_t>(~(1u << col));
     if (sim::Check::paranoid())
         checkInvariants();
     return true;
@@ -47,8 +48,41 @@ LbaMapTable::invalidate(std::uint32_t row, std::uint32_t col)
         return;
     BMS_LANE_AUDIT_WRITE(_laneAudit);
     _validation[row] &= static_cast<std::uint8_t>(~(1u << col));
+    _shared[row] &= static_cast<std::uint8_t>(~(1u << col));
     if (sim::Check::paranoid())
         checkInvariants();
+}
+
+void
+LbaMapTable::setShared(std::uint32_t row, std::uint32_t col, bool shared)
+{
+    if (row >= _geom.rows || col >= _geom.entriesPerRow)
+        return;
+    BMS_ASSERT(!shared || (_validation[row] & (1u << col)),
+               "marking an invalid entry shared: row=", row, " col=", col);
+    BMS_LANE_AUDIT_WRITE(_laneAudit);
+    if (shared)
+        _shared[row] |= static_cast<std::uint8_t>(1u << col);
+    else
+        _shared[row] &= static_cast<std::uint8_t>(~(1u << col));
+}
+
+bool
+LbaMapTable::entryShared(std::uint32_t row, std::uint32_t col) const
+{
+    if (row >= _geom.rows || col >= _geom.entriesPerRow)
+        return false;
+    BMS_LANE_AUDIT_READ(_laneAudit);
+    return _shared[row] & (1u << col);
+}
+
+bool
+LbaMapTable::sharedAt(std::uint64_t host_lba) const
+{
+    std::uint64_t chunk = host_lba / _geom.chunkBlocks;
+    return entryShared(
+        static_cast<std::uint32_t>(chunk / _geom.entriesPerRow),
+        static_cast<std::uint32_t>(chunk % _geom.entriesPerRow));
 }
 
 std::uint16_t
@@ -156,6 +190,9 @@ LbaMapTable::checkInvariants() const
                       "validation vector of row ", row,
                       " has bits set beyond entriesPerRow=",
                       _geom.entriesPerRow);
+        BMS_ASSERT_EQ(_shared[row] & ~_validation[row], 0,
+                      "shared (CoW) bit set on an invalid entry in row ",
+                      row);
         for (std::uint32_t col = 0; col < _geom.entriesPerRow; ++col) {
             if (!(_validation[row] & (1u << col)))
                 continue;

@@ -109,6 +109,24 @@ class LbaMapTable
     bool entryValid(std::uint32_t row, std::uint32_t col) const;
 
     /**
+     * @name Shared (copy-on-write) entry state.
+     *
+     * A shared entry points at a physical chunk that is also pinned
+     * by a snapshot or referenced by a clone (pool refcount > 1). The
+     * data path must not write through a shared entry: the engine
+     * holds such writes and triggers a chunk CoW first. setEntry()
+     * and invalidate() clear the bit — a freshly programmed or
+     * invalidated entry is always private.
+     */
+    /// @{
+    void setShared(std::uint32_t row, std::uint32_t col, bool shared);
+    bool entryShared(std::uint32_t row, std::uint32_t col) const;
+    /** Shared state of the entry covering @p host_lba (false when the
+     *  LBA is unmapped or out of range). */
+    bool sharedAt(std::uint64_t host_lba) const;
+    /// @}
+
+    /**
      * Translate host LBA → (SSD id, physical LBA) per Eqs. (1)-(4).
      * Returns nullopt when the covering entry is invalid or the LBA
      * is beyond the table.
@@ -155,6 +173,7 @@ class LbaMapTable
     LbaMapGeometry _geom;
     std::vector<std::uint16_t> _entries;   // rows * entriesPerRow
     std::vector<std::uint8_t> _validation; // one vector per row
+    std::vector<std::uint8_t> _shared;     // one CoW vector per row
     BMS_LANE_AUDIT_OBJ(_laneAudit);
 };
 

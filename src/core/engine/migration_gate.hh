@@ -137,6 +137,16 @@ class MigrationGate : public sim::SimObject
     /** @name Introspection. */
     /// @{
     bool migrationActive() const { return _active; }
+
+    /** True while the open migration reads or writes (slot, chunk) —
+     *  the TargetController's deallocate path must not free or scrub
+     *  a physical chunk the copier is touching. */
+    bool
+    migrationTouches(std::uint8_t slot, std::uint32_t chunk) const
+    {
+        return _active && ((_srcSlot == slot && _srcChunk == chunk) ||
+                           (_dstSlot == slot && _dstChunk == chunk));
+    }
     std::uint32_t totalSegments() const { return _numSegs; }
     std::size_t heldCount() const { return _held.size(); }
     std::uint64_t mirroredWrites() const { return _mirrored; }

@@ -82,7 +82,7 @@ void
 MgmtConsole::createNamespace(
     Eid ctrl, std::uint8_t fn, std::uint64_t bytes, std::uint8_t policy,
     QosLimits qos,
-    std::function<void(std::optional<std::uint32_t>)> cb)
+    std::function<void(std::optional<std::uint32_t>)> cb, bool thin)
 {
     wire::Writer w;
     w.u8(fn);
@@ -90,6 +90,7 @@ MgmtConsole::createNamespace(
     w.u8(policy);
     w.f64(qos.iopsLimit);
     w.f64(qos.mbPerSecLimit);
+    w.u8(thin ? 1 : 0);
     request(ctrl, MiOpcode::VendorCreateNamespace, w.take(),
             [cb = std::move(cb)](const MiMessage &resp) {
                 if (resp.status != MiStatus::Success) {
@@ -100,6 +101,78 @@ MgmtConsole::createNamespace(
                 std::uint32_t nsid = r.u32();
                 cb(r.ok() ? std::optional<std::uint32_t>(nsid)
                           : std::nullopt);
+            });
+}
+
+void
+MgmtConsole::snapshot(Eid ctrl, std::uint8_t fn, std::uint32_t nsid,
+                      std::function<void(std::optional<std::uint32_t>,
+                                         std::vector<MiSnapInfo>)>
+                          cb)
+{
+    wire::Writer w;
+    w.u8(fn);
+    w.u32(nsid);
+    request(ctrl, MiOpcode::VendorSnapshot, w.take(),
+            [cb = std::move(cb)](const MiMessage &resp) {
+                if (resp.status != MiStatus::Success) {
+                    cb(std::nullopt, {});
+                    return;
+                }
+                wire::Reader r(resp.payload);
+                std::uint32_t id = r.u32();
+                std::vector<MiSnapInfo> snaps;
+                std::uint16_t n = r.u16();
+                for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+                    MiSnapInfo s;
+                    s.id = r.u32();
+                    s.srcFn = r.u8();
+                    s.srcNsid = r.u32();
+                    s.sizeBlocks = r.u64();
+                    s.pinnedChunks = r.u32();
+                    if (r.ok())
+                        snaps.push_back(s);
+                }
+                if (!r.ok()) {
+                    cb(std::nullopt, {});
+                    return;
+                }
+                cb(id, std::move(snaps));
+            });
+}
+
+void
+MgmtConsole::clone(Eid ctrl, std::uint32_t snap_id, std::uint8_t fn,
+                   QosLimits qos,
+                   std::function<void(std::optional<std::uint32_t>)> cb)
+{
+    wire::Writer w;
+    w.u32(snap_id);
+    w.u8(fn);
+    w.f64(qos.iopsLimit);
+    w.f64(qos.mbPerSecLimit);
+    request(ctrl, MiOpcode::VendorClone, w.take(),
+            [cb = std::move(cb)](const MiMessage &resp) {
+                if (resp.status != MiStatus::Success) {
+                    cb(std::nullopt);
+                    return;
+                }
+                wire::Reader r(resp.payload);
+                std::uint32_t nsid = r.u32();
+                cb(r.ok() ? std::optional<std::uint32_t>(nsid)
+                          : std::nullopt);
+            });
+}
+
+void
+MgmtConsole::deleteSnapshot(Eid ctrl, std::uint32_t snap_id,
+                            std::function<void(bool)> cb)
+{
+    wire::Writer w;
+    w.u32(snap_id);
+    request(ctrl, MiOpcode::VendorDeleteSnapshot, w.take(),
+            [cb = std::move(cb)](const MiMessage &resp) {
+                cb(resp.status == MiStatus::Success);
             });
 }
 
@@ -165,6 +238,7 @@ MgmtConsole::ioStats(Eid ctrl, std::uint8_t fn,
                     e.totalChunks = r.u64();
                     e.usedChunks = r.u64();
                     e.freeChunks = r.u64();
+                    e.logicalChunks = r.u64();
                     e.quiesced = r.u8() != 0;
                     e.chunkBytes = r.u64();
                     if (r.ok())
@@ -304,6 +378,7 @@ MgmtConsole::df(Eid ctrl, std::function<void(std::vector<MiDfEntry>)> cb)
                     e.totalChunks = r.u64();
                     e.usedChunks = r.u64();
                     e.freeChunks = r.u64();
+                    e.logicalChunks = r.u64();
                     e.quiesced = r.u8() != 0;
                     e.chunkBytes = r.u64();
                     if (r.ok())

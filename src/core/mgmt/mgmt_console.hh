@@ -37,10 +37,30 @@ class MgmtConsole : public sim::SimObject
     void healthPoll(Eid ctrl,
                     std::function<void(std::vector<SlotHealth>)> cb);
 
+    /** @p thin promises @p bytes without reserving chunks (thin
+     *  provisioning; backing allocates on first write). */
     void createNamespace(Eid ctrl, std::uint8_t fn, std::uint64_t bytes,
                          std::uint8_t policy, QosLimits qos,
                          std::function<void(std::optional<std::uint32_t>)>
-                             cb);
+                             cb,
+                         bool thin = false);
+
+    /** Pin (fn, nsid)'s current content as a chunk-CoW snapshot.
+     *  Returns the snapshot id plus the full snapshot listing. */
+    void snapshot(Eid ctrl, std::uint8_t fn, std::uint32_t nsid,
+                  std::function<void(std::optional<std::uint32_t>,
+                                     std::vector<MiSnapInfo>)>
+                      cb);
+
+    /** Materialise a writable thin namespace on @p fn from a
+     *  snapshot (no data copied; diverges chunk-by-chunk via CoW). */
+    void clone(Eid ctrl, std::uint32_t snap_id, std::uint8_t fn,
+               QosLimits qos,
+               std::function<void(std::optional<std::uint32_t>)> cb);
+
+    /** Drop a snapshot's chunk pins. */
+    void deleteSnapshot(Eid ctrl, std::uint32_t snap_id,
+                        std::function<void(bool)> cb);
 
     void destroyNamespace(Eid ctrl, std::uint8_t fn, std::uint32_t nsid,
                           std::function<void(bool)> cb);

@@ -41,6 +41,9 @@ enum class MiOpcode : std::uint8_t
     VendorTierStats = 0xCB,
     VendorSetTierPolicy = 0xCC,
     VendorFailNode = 0xCD,
+    VendorSnapshot = 0xCE,
+    VendorClone = 0xCF,
+    VendorDeleteSnapshot = 0xD0,
 };
 
 /** NVMe-MI response status. */
@@ -120,10 +123,23 @@ struct MiDfEntry
 {
     std::uint8_t slot = 0;
     std::uint64_t totalChunks = 0;
-    std::uint64_t usedChunks = 0;
+    std::uint64_t usedChunks = 0; ///< physically allocated
     std::uint64_t freeChunks = 0;
+    /** Promised (logical) chunks attributed to the slot; exceeds
+     *  totalChunks when thin namespaces overcommit the capacity. */
+    std::uint64_t logicalChunks = 0;
     bool quiesced = false;
     std::uint64_t chunkBytes = 0;
+};
+
+/** One snapshot as reported by VendorSnapshot's listing tail. */
+struct MiSnapInfo
+{
+    std::uint32_t id = 0;
+    std::uint8_t srcFn = 0;
+    std::uint32_t srcNsid = 1;
+    std::uint64_t sizeBlocks = 0;
+    std::uint32_t pinnedChunks = 0;
 };
 
 /** Per-function I/O statistics (VendorIoStats response). */

@@ -5,8 +5,8 @@
  *   fuzz [--seed=N | --seeds=A:B] [--horizon-ms=N] [--max-tenants=N]
  *        [--max-ssds=N] [--min-ssds=N] [--no-faults] [--no-control]
  *        [--no-upgrade] [--no-migration] [--force-migration]
- *        [--remote-nodes=N] [--force-tiering] [--paranoid] [--log=LEVEL]
- *        [--lane-audit-out=PATH]
+ *        [--remote-nodes=N] [--force-tiering] [--thin] [--force-thin]
+ *        [--paranoid] [--log=LEVEL] [--lane-audit-out=PATH]
  *
  * BMS_FUZZ_SEED=N is equivalent to --seed=N (repro from CI logs).
  * Exits nonzero on the first failing seed, after printing the seed
@@ -65,6 +65,20 @@ printReport(const fuzz::FuzzReport &r)
                     static_cast<unsigned long long>(r.remoteTimeouts),
                     static_cast<unsigned long long>(r.remoteRetries));
     }
+    if (r.trims + r.thinAllocs + r.dsmCommands + r.zeroFillReads +
+            r.cowCopies + r.snapshots >
+        0) {
+        std::printf("  thin: trims=%llu allocs=%llu trimmed-chunks=%llu "
+                    "dsm=%llu zero-reads=%llu cow=%llu snapshots=%u "
+                    "clones=%u snap-deletes=%u\n",
+                    static_cast<unsigned long long>(r.trims),
+                    static_cast<unsigned long long>(r.thinAllocs),
+                    static_cast<unsigned long long>(r.trimmedChunks),
+                    static_cast<unsigned long long>(r.dsmCommands),
+                    static_cast<unsigned long long>(r.zeroFillReads),
+                    static_cast<unsigned long long>(r.cowCopies),
+                    r.snapshots, r.clones, r.snapshotDeletes);
+    }
 }
 
 } // namespace
@@ -118,6 +132,10 @@ main(int argc, char **argv)
             cfg.maxRemoteNodes = static_cast<int>(v);
         } else if (std::strcmp(a, "--force-tiering") == 0) {
             cfg.forceTiering = true;
+        } else if (std::strcmp(a, "--thin") == 0) {
+            cfg.enableThin = true;
+        } else if (std::strcmp(a, "--force-thin") == 0) {
+            cfg.forceThin = true;
         } else if (std::strncmp(a, "--paranoid", 10) == 0 ||
                    std::strncmp(a, "--log=", 6) == 0 ||
                    std::strncmp(a, "--lane-audit-out=", 17) == 0) {

@@ -26,6 +26,11 @@ Fuzzer::Fuzzer(FuzzConfig cfg) : _cfg(cfg), _log(cfg.opLogCapacity)
                "remote nodes must be in [0, 4]: ", _cfg.maxRemoteNodes);
     BMS_ASSERT(!_cfg.forceTiering || _cfg.maxRemoteNodes >= 1,
                "forceTiering needs maxRemoteNodes >= 1");
+    if (_cfg.forceThin)
+        _cfg.enableThin = true;
+    BMS_ASSERT(!_cfg.enableThin || _cfg.maxRemoteNodes == 0,
+               "thin/snapshot runs are local-only (snapshot refuses "
+               "tier-spilled chunks; keep the streams separate)");
 }
 
 Fuzzer::~Fuzzer() = default;
@@ -38,7 +43,7 @@ Fuzzer::fail(const std::string &what)
 }
 
 void
-Fuzzer::buildTenants(sim::Rng &rng)
+Fuzzer::buildTenants(sim::Rng &rng, sim::Rng &thin_rng)
 {
     sim::Simulator &sim = _bed->sim();
     std::uint64_t chunk_bytes =
@@ -52,7 +57,13 @@ Fuzzer::buildTenants(sim::Rng &rng)
         // them exercises the engine's extent-splitting path.
         int ns_chunks = rng.chance(0.5) ? 2 : 1;
         std::uint64_t ns_bytes = ns_chunks * chunk_bytes;
-        host::NvmeDriver &drv = _bed->attachTenant(fn, ns_bytes);
+        // Thin tenants allocate chunks on first write; their draws
+        // come only from the forked thin stream.
+        bool thin = _cfg.enableThin &&
+                    (_cfg.forceThin || thin_rng.chance(0.7));
+        host::NvmeDriver &drv = _bed->attachTenant(
+            fn, ns_bytes, core::NamespaceManager::Policy::RoundRobin,
+            core::QosLimits(), nullptr, -1, thin);
 
         OracleDevice::Config ocfg;
         ocfg.uid = static_cast<std::uint32_t>(t + 1);
@@ -77,6 +88,10 @@ Fuzzer::buildTenants(sim::Rng &rng)
         spec.minIoBlocks = 1;
         spec.maxIoBlocks = 1u << rng.uniformInt(0, 5); // 4 KiB..128 KiB
         spec.sequential = rng.chance(0.3);
+        if (thin)
+            spec.trimProb = thin_rng.uniformDouble(0.02, 0.10);
+        if (t == 0)
+            _t0cfg = ocfg;
         auto *wl = sim.make<TenantWorkload>(
             sim, "tenant" + std::to_string(t), *oracle, rng.fork(), spec);
         _tenants.push_back(Tenant{fn, oracle, wl});
@@ -601,6 +616,145 @@ Fuzzer::scheduleTiering(sim::Rng &rng)
 }
 
 void
+Fuzzer::scheduleThinOps(sim::Rng &rng)
+{
+    if (!_cfg.enableThin)
+        return;
+    if (!_cfg.forceThin && !rng.chance(0.6))
+        return;
+    // Draw the clone tenant's whole shape up front so the schedule is
+    // fixed by the seed before any callback fires.
+    TenantSpec cspec;
+    cspec.iodepth = 1 + static_cast<int>(rng.uniformInt(0, 7));
+    cspec.readRatio = rng.uniformDouble(0.3, 0.7);
+    cspec.flushProb = 0.005;
+    cspec.minIoBlocks = 1;
+    cspec.maxIoBlocks = 1u << rng.uniformInt(0, 4);
+    cspec.sequential = rng.chance(0.3);
+    cspec.trimProb = rng.uniformDouble(0.02, 0.10);
+    sim::Rng crng = rng.fork();
+    double snap_frac = _cfg.forceThin ? 0.3 : rng.uniformDouble(0.2, 0.45);
+    double del_frac = _cfg.forceThin ? 0.75 : rng.uniformDouble(0.6, 0.9);
+    sim::Tick at = _start + static_cast<sim::Tick>(
+                               snap_frac *
+                               static_cast<double>(_cfg.horizon));
+    core::Eid eid = _bed->controller().endpoint().eid();
+    ++_pendingControl;
+    _bed->sim().scheduleAt(at, [this, eid, cspec, crng, del_frac] {
+        attemptSnapshot(eid, 0, cspec, crng, del_frac);
+    });
+}
+
+void
+Fuzzer::attemptSnapshot(core::Eid eid, int attempt, TenantSpec cspec,
+                        sim::Rng crng, double del_frac)
+{
+    // A migration or chunk op (allocation scrub, CoW, trim) holds
+    // tenant 0's namespace locked and the verb is refused; retry like
+    // the scratch destroy does. The budget matches the scrub's own
+    // firmware-activation patience (20 s): an allocation scrub caught
+    // under a hot upgrade legally pins the namespace for seconds.
+    sim::Tick submit = _bed->sim().now();
+    if (attempt % 25 == 0)
+        _log.record(submit, "ctrl snapshot fn=0 attempt=" +
+                                std::to_string(attempt));
+    _bed->console().snapshot(
+        eid, 0, 1,
+        [this, eid, attempt, cspec, crng, del_frac,
+         submit](std::optional<std::uint32_t> snap_id,
+                 std::vector<core::MiSnapInfo> all) {
+            if (!snap_id) {
+                if (attempt >= 10'000)
+                    fail("snapshot kept being refused");
+                _bed->sim().scheduleAfter(
+                    sim::milliseconds(2),
+                    [this, eid, attempt, cspec, crng, del_frac] {
+                        attemptSnapshot(eid, attempt + 1, cspec, crng,
+                                        del_frac);
+                    });
+                return;
+            }
+            BMS_ASSERT(!all.empty(), "snapshot listing empty");
+            ++_snapshots;
+            ++_controlOps;
+            // Freeze the oracle's view of what the pinned image may
+            // hold: every stamp alive at any point since this verb was
+            // submitted. Writes landing while the verb was on the MCTP
+            // wire only widen the set — lenient, still sound.
+            _cloneLineage = _tenants[0].oracle->captureLineage(submit);
+            // The snapshot dies late in the window; the clone keeps
+            // its own chunk pins and lives on.
+            sim::Tick del_at = std::max(
+                _start + static_cast<sim::Tick>(
+                             del_frac * static_cast<double>(_cfg.horizon)),
+                _bed->sim().now() + sim::milliseconds(1));
+            ++_pendingControl;
+            _bed->sim().scheduleAt(
+                del_at, [this, eid, snap = *snap_id] {
+                    _log.record(_bed->sim().now(),
+                                "ctrl deleteSnapshot id=" +
+                                    std::to_string(snap));
+                    _bed->console().deleteSnapshot(
+                        eid, snap, [this](bool ok) {
+                            if (!ok)
+                                fail("deleteSnapshot of a live "
+                                     "snapshot refused");
+                            ++_snapshotDeletes;
+                            ++_controlOps;
+                            --_pendingControl;
+                        });
+                });
+            cloneFromSnapshot(eid, *snap_id, cspec, crng);
+        });
+}
+
+void
+Fuzzer::cloneFromSnapshot(core::Eid eid, std::uint32_t snap_id,
+                          TenantSpec cspec, sim::Rng crng)
+{
+    // The clone rides the topmost VF — far above tenant functions
+    // (<= 16) and the scratch VFs (pfCount..pfCount+3).
+    auto fn = static_cast<pcie::FunctionId>(
+        _bed->engine().config().totalFunctions() - 1);
+    _log.record(_bed->sim().now(),
+                "ctrl clone snap=" + std::to_string(snap_id) +
+                    " fn=" + std::to_string(fn));
+    _bed->console().clone(
+        eid, snap_id, static_cast<std::uint8_t>(fn), core::QosLimits(),
+        [this, fn, cspec, crng](std::optional<std::uint32_t> nsid) {
+            if (!nsid)
+                fail("clone of a live snapshot refused");
+            ++_clones;
+            ++_controlOps;
+            // Driver bring-up is asynchronous (we are inside an event
+            // handler); the cell hands the driver to its own ready
+            // callback.
+            auto drvp = std::make_shared<host::NvmeDriver *>(nullptr);
+            auto ready = [this, fn, cspec, crng, drvp] {
+                sim::Simulator &sim = _bed->sim();
+                OracleDevice::Config ocfg = _t0cfg;
+                ocfg.uid = 100 + _clones;
+                auto *oracle = sim.make<OracleDevice>(
+                    sim, "clone-oracle", **drvp, _bed->host().memory(),
+                    _log, ocfg);
+                oracle->adoptLineage(_cloneLineage);
+                if (_faultsEverActive)
+                    oracle->setFaultsActive(true);
+                auto *wl = sim.make<TenantWorkload>(
+                    sim, "clone-tenant", *oracle, crng, cspec);
+                _tenants.push_back(Tenant{fn, oracle, wl});
+                // Past the horizon (bring-up raced the drain) the
+                // clone skips its workload; the final sweep still
+                // verifies every inherited block against the lineage.
+                if (sim.now() < _start + _cfg.horizon)
+                    wl->start();
+                --_pendingControl;
+            };
+            *drvp = &_bed->attachDriver(fn, *nsid, ready);
+        });
+}
+
+void
 Fuzzer::drain(const char *stage, const std::function<bool()> &done,
               sim::Tick timeout)
 {
@@ -705,12 +859,16 @@ Fuzzer::run()
         if (_cfg.forceTiering)
             tb.chunkBytes = sim::mib(8);
     }
+    // Thin provisioning / snapshots: like the remote tier, all thin
+    // randomness forks its own stream so pre-thin pinned seeds keep
+    // their exact draws.
+    sim::Rng thin_rng(_cfg.seed ^ 0x7411'c0de'5a11ULL);
     _bed = std::make_unique<harness::BmStoreTestbed>(tb);
     _start = _bed->sim().now();
     _log.record(_start, "run start: seed=" + std::to_string(_cfg.seed) +
                             " ssds=" + std::to_string(ssds));
 
-    buildTenants(rng);
+    buildTenants(rng, thin_rng);
     // Tenant bring-up (driver init, namespace attach) advances the
     // clock; the torture window opens after it, so every scheduled
     // event lands in the future even for short horizons.
@@ -720,6 +878,7 @@ Fuzzer::run()
     scheduleMigrations(rng);
     scheduleFaultWindows(rng);
     scheduleTiering(remote_rng);
+    scheduleThinOps(thin_rng);
 
     _bed->sim().runUntil(_start + _cfg.horizon);
 
@@ -732,18 +891,34 @@ Fuzzer::run()
     }
 
     // Stop tenants and wait out everything in flight — including I/O
-    // latched across a multi-second firmware activation stall.
+    // latched across a multi-second firmware activation stall. The
+    // stop loop lives inside the predicate: a clone tenant whose
+    // driver bring-up raced the horizon joins _tenants mid-drain and
+    // must be stopped too (pending control work holds the drain open
+    // until it lands).
+    std::size_t stopped = 0;
     int drained = 0;
-    for (Tenant &t : _tenants)
-        t.workload->stop([&drained] { ++drained; });
-    int tenants = static_cast<int>(_tenants.size());
     drain("tenant+control drain",
-          [this, &drained, tenants] {
-              return drained == tenants && _pendingControl == 0;
+          [this, &stopped, &drained] {
+              while (stopped < _tenants.size())
+                  _tenants[stopped++].workload->stop(
+                      [&drained] { ++drained; });
+              return drained == static_cast<int>(stopped) &&
+                     _pendingControl == 0;
           },
           sim::seconds(40));
+    int tenants = static_cast<int>(_tenants.size());
     drain("migration drain",
           [this] { return _bed->controller().migration().idle(); },
+          sim::seconds(40));
+    // Chunk ops (allocation scrubs, CoW copies, trims) queue behind
+    // migrations; let them settle before sweeping.
+    drain("chunk-op drain",
+          [this] {
+              return _bed->engine().targetController().pendingChunkOps() ==
+                         0 &&
+                     _bed->controller().migration().idle();
+          },
           sim::seconds(40));
     if (_bed->remoteNodes() > 0) {
         // Tier moves (including the post-loss respill chain) run
@@ -769,6 +944,14 @@ Fuzzer::run()
                "migration window left open after drain");
     BMS_ASSERT_EQ(gate.heldCount(), std::size_t(0),
                   "held writes left behind after drain");
+    BMS_ASSERT_EQ(_bed->engine().targetController().pendingChunkOps(),
+                  std::size_t(0), "chunk ops left behind after drain");
+    // Everything is quiesced: pool refcounts must match the owner
+    // census exactly (namespaces + surviving snapshots). Remote-tier
+    // runs skip the strict form — a spilled chunk's local shadow
+    // holds a reference with no record owner by design.
+    if (_bed->remoteNodes() == 0)
+        _bed->controller().namespaces().checkRefInvariants(true);
     for (Tenant &t : _tenants) {
         core::NsBinding *b = _bed->engine().findBinding(t.fn, 1);
         BMS_ASSERT(b, "tenant binding vanished: fn=", t.fn);
@@ -783,6 +966,7 @@ Fuzzer::run()
         rep.totalOps += t.workload->ops();
         rep.totalErrors += t.workload->errors();
         rep.verifiedBlocks += t.oracle->verifiedBlocks();
+        rep.trims += t.oracle->trims();
         if (t.workload->maxCompletionGap() > rep.maxCompletionGap)
             rep.maxCompletionGap = t.workload->maxCompletionGap();
     }
@@ -816,6 +1000,15 @@ Fuzzer::run()
             rep.remoteRetries += _bed->remoteDevice(n2, v).retries();
         }
     }
+    const core::TargetController &tc = _bed->engine().targetController();
+    rep.thinAllocs = tc.allocatedOnWrite();
+    rep.trimmedChunks = tc.trimmedChunks();
+    rep.dsmCommands = tc.dsmCommands();
+    rep.zeroFillReads = tc.zeroFillReads();
+    rep.cowCopies = tc.cowTriggers();
+    rep.snapshots = _snapshots;
+    rep.clones = _clones;
+    rep.snapshotDeletes = _snapshotDeletes;
     rep.finishedAt = _bed->sim().now();
 
     if (!_faultsEverActive && rep.totalErrors != 0)

@@ -68,6 +68,21 @@ struct FuzzConfig
     /** Pin the tier schedule: an early spill onto node 0, a node-0
      *  loss mid-window, and a late promote (pinned seeds 401-404). */
     bool forceTiering = false;
+    /**
+     * Thin provisioning / TRIM / snapshot torture: tenants become
+     * thin namespaces (allocate-on-write + zero-fill reads),
+     * workloads mix Dataset-Management deallocates into the stream,
+     * and a mid-run snapshot → clone → delete-snapshot lifecycle
+     * drives chunk CoW under live I/O, with the clone verified by its
+     * own oracle against the snapshot's captured lineage. All extra
+     * randomness comes from a forked stream, so seeds predating thin
+     * provisioning replay byte-identically.
+     */
+    bool enableThin = false;
+    /** Pin the thin schedule: every tenant thin and trimming, a
+     *  guaranteed snapshot of tenant 0, a verified clone, and a late
+     *  snapshot delete (pinned seeds 501-504). Implies enableThin. */
+    bool forceThin = false;
     std::size_t opLogCapacity = 256;
 };
 
@@ -104,6 +119,18 @@ struct FuzzReport
     std::uint64_t remoteTimeouts = 0;
     std::uint64_t remoteRetries = 0;
     /// @}
+    /** @name Thin provisioning / snapshots (zero unless enableThin). */
+    /// @{
+    std::uint64_t trims = 0;         ///< deallocates issued by tenants
+    std::uint64_t thinAllocs = 0;    ///< chunks allocated on first write
+    std::uint64_t trimmedChunks = 0; ///< whole chunks returned to pools
+    std::uint64_t dsmCommands = 0;   ///< DSM/Deallocate commands served
+    std::uint64_t zeroFillReads = 0; ///< reads served as zeros, no media
+    std::uint64_t cowCopies = 0;     ///< chunk CoW copies triggered
+    std::uint32_t snapshots = 0;
+    std::uint32_t clones = 0;
+    std::uint32_t snapshotDeletes = 0;
+    /// @}
     /** Longest tenant submit→complete span (upgrade pause shows up
      *  here; must stay under the 30 s host NVMe timeout). */
     sim::Tick maxCompletionGap = 0;
@@ -129,12 +156,17 @@ class Fuzzer
         TenantWorkload *workload = nullptr;
     };
 
-    void buildTenants(sim::Rng &rng);
+    void buildTenants(sim::Rng &rng, sim::Rng &thin_rng);
     void scheduleControlOps(sim::Rng &rng);
     void scheduleUpgrades(sim::Rng &rng);
     void scheduleMigrations(sim::Rng &rng);
     void scheduleFaultWindows(sim::Rng &rng);
     void scheduleTiering(sim::Rng &remote_rng);
+    void scheduleThinOps(sim::Rng &thin_rng);
+    void attemptSnapshot(core::Eid eid, int attempt, TenantSpec cspec,
+                         sim::Rng crng, double del_frac);
+    void cloneFromSnapshot(core::Eid eid, std::uint32_t snap_id,
+                           TenantSpec cspec, sim::Rng crng);
     void destroyScratch(core::Eid eid, std::uint8_t vf,
                         std::uint32_t nsid, int attempt);
     void drain(const char *stage, const std::function<bool()> &done,
@@ -152,6 +184,13 @@ class Fuzzer
     std::uint32_t _upgrades = 0;
     int _faultWindows = 0;
     bool _faultsEverActive = false;
+    std::uint32_t _snapshots = 0;
+    std::uint32_t _clones = 0;
+    std::uint32_t _snapshotDeletes = 0;
+    /** Tenant 0's oracle window (the clone inherits it verbatim). */
+    OracleDevice::Config _t0cfg;
+    /** Stamp lineage captured when the snapshot pinned tenant 0. */
+    OracleDevice::Lineage _cloneLineage;
 };
 
 } // namespace bms::fuzz

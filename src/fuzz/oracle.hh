@@ -31,6 +31,25 @@
  *  - Read-your-writes still holds: once a successful write completes,
  *    every older stamp is dead, so a read submitted afterwards
  *    accepts only the new stamp.
+ *  - A TRIM (Dataset-Management deallocate) is modelled as a
+ *    concurrent write of zeroes: a zero-stamp life is born at submit,
+ *    and a *successful* trim kills every older stamp at completion
+ *    (deallocated blocks must read back zero).  A FAILED trim keeps
+ *    the old stamps alive next to the zero life — the engine
+ *    deallocates chunk-by-chunk, so an error completion may still
+ *    have freed or scrubbed a prefix (lenient, like partial writes).
+ *  - Snapshot/clone lineage: every life carries the uid of the
+ *    oracle that wrote it.  captureLineage(pin_submit) returns, per
+ *    block, every life whose residency window overlaps the pin
+ *    (died >= pin_submit, including in-flight writes still at
+ *    kNever) with the death side reset to kNever — the snapshot
+ *    freezes whichever of those stamps was on media, and the
+ *    parent's later overwrites divert through chunk CoW without
+ *    touching the pinned chunk.  A clone oracle adopts that lineage:
+ *    its reads accept any pin-time (uid, stamp) pair until the
+ *    clone's own first successful write to the block kills the
+ *    inherited entries (divergence), after which read-your-writes
+ *    applies to the clone's stamps alone.
  *  - Failed reads and failed writes are only excused while fault
  *    injection is active (setFaultsActive); otherwise they are
  *    integrity violations themselves.
@@ -74,6 +93,29 @@ class OracleDevice : public sim::SimObject
         std::uint64_t seed = 0;
     };
 
+    static constexpr sim::Tick kNever = ~sim::Tick{0};
+
+    /** One stamp's media-residency window on one block. */
+    struct StampLife
+    {
+        /** Unique token of the originating op (overwrite kill rule). */
+        std::uint64_t id = 0;
+        /** Decoded pattern stamp (0 = all-zero image). */
+        std::uint64_t stamp = 0;
+        /** Oracle uid that wrote the pattern (0 for zero images);
+         *  clone lineages carry the parent's uid. */
+        std::uint32_t uid = 0;
+        /** Write submit tick: earliest the data can be on media. */
+        sim::Tick born = 0;
+        /** Completion tick of the next successful write (kNever while
+         *  the stamp is still current). */
+        sim::Tick died = kNever;
+    };
+
+    /** Per-block acceptable lives at a snapshot pin (see
+     *  captureLineage). */
+    using Lineage = std::vector<std::vector<StampLife>>;
+
     OracleDevice(sim::Simulator &sim, std::string name,
                  host::BlockDeviceIf &dev, host::HostMemory &mem,
                  OpLog &log, Config cfg);
@@ -93,11 +135,41 @@ class OracleDevice : public sim::SimObject
     void read(std::uint64_t block, std::uint32_t nblocks,
               std::function<void(bool ok)> done = nullptr);
 
+    /**
+     * Deallocate (TRIM) @p nblocks starting at window block @p block:
+     * a Dataset-Management Discard whose success makes the range read
+     * back zero.  Modelled as a concurrent zero write, so it must not
+     * overlap in-flight writes or trims (see writeInflight).
+     */
+    void trim(std::uint64_t block, std::uint32_t nblocks,
+              std::function<void(bool ok)> done = nullptr);
+
     /** Flush (never expected to fail, faults or not). */
     void flush(std::function<void(bool ok)> done = nullptr);
 
-    /** True when any covered block has a write in flight. */
+    /** True when any covered block has a write or trim in flight. */
     bool writeInflight(std::uint64_t block, std::uint32_t nblocks) const;
+
+    /**
+     * Snapshot-pin lineage: for every block, the lives whose media
+     * residency may overlap a pin submitted at @p pin_submit
+     * (died >= pin_submit, in-flight entries included), with `died`
+     * reset to kNever — on the pinned chunk nothing dies until the
+     * adopting clone overwrites it.  Call it from the snapshot verb's
+     * *completion* using the verb's *submit* tick: entries born while
+     * the verb was on the wire land on the still-unshared chunk and
+     * must be captured; filtering from the earlier tick only ever
+     * widens the acceptable set (lenient, sound).
+     */
+    Lineage captureLineage(sim::Tick pin_submit) const;
+
+    /**
+     * Seed a freshly built clone oracle with its parent's captured
+     * lineage (same window geometry; must precede any I/O).  The
+     * clone's own writes then kill inherited entries block-by-block —
+     * exactly the divergence semantics of chunk-CoW clones.
+     */
+    void adoptLineage(const Lineage &lineage);
 
     /** Fault-injection window marker: failed I/Os are excused only
      *  while (or right after) this is on. */
@@ -106,42 +178,37 @@ class OracleDevice : public sim::SimObject
     std::uint64_t reads() const { return _reads; }
     std::uint64_t writes() const { return _writes; }
     std::uint64_t flushes() const { return _flushes; }
+    std::uint64_t trims() const { return _trims; }
     /** Blocks whose contents passed full-pattern verification. */
     std::uint64_t verifiedBlocks() const { return _verifiedBlocks; }
     /** I/Os that failed while excused by fault injection. */
     std::uint64_t excusedErrors() const { return _excusedErrors; }
 
   private:
-    /** One stamp's media-residency window on one block. */
-    struct StampLife
-    {
-        std::uint64_t stamp = 0;
-        /** Write submit tick: earliest the data can be on media. */
-        sim::Tick born = 0;
-        /** Completion tick of the next successful write (kNever while
-         *  the stamp is still current). */
-        sim::Tick died = kNever;
-    };
-
     struct BlockState
     {
         /** Stamps with a still-relevant lifetime; dead entries are
          *  pruned once no in-flight read can observe them. */
         std::vector<StampLife> lives{StampLife{}};
-        /** Stamp of the one in-flight write covering the block
-         *  (0 = none). */
+        /** Op token of the one in-flight write/trim covering the
+         *  block (0 = none). */
         std::uint64_t inflight = 0;
     };
-
-    static constexpr sim::Tick kNever = ~sim::Tick{0};
 
     std::uint64_t acquireBuffer();
     void releaseBuffer(std::uint64_t addr);
     void fillPattern(std::uint8_t *buf, std::uint64_t block,
                      std::uint64_t stamp) const;
-    /** Verify one block image; returns the decoded stamp or panics. */
+    /** Verify one block image; returns the decoded stamp or panics.
+     *  @p valid holds the already-filtered acceptable lives — the
+     *  image must decode to one of their (uid, stamp) pairs. */
     std::uint64_t verifyBlock(const std::uint8_t *img, std::uint64_t block,
-                              const std::vector<std::uint64_t> &valid);
+                              const std::vector<StampLife> &valid);
+    /** Shared completion bookkeeping of write() and trim(): clear
+     *  the inflight token, kill overwritten lives on success, prune
+     *  lives no in-flight read can observe. */
+    void settleOverwrite(std::uint64_t block, std::uint32_t nblocks,
+                         std::uint64_t token, bool ok);
     [[noreturn]] void fail(const std::string &what);
 
     host::BlockDeviceIf &_dev;
@@ -159,6 +226,7 @@ class OracleDevice : public sim::SimObject
     std::uint64_t _reads = 0;
     std::uint64_t _writes = 0;
     std::uint64_t _flushes = 0;
+    std::uint64_t _trims = 0;
     std::uint64_t _verifiedBlocks = 0;
     std::uint64_t _excusedErrors = 0;
 };

@@ -74,6 +74,21 @@ TenantWorkload::issueOne()
         return b;
     };
 
+    // TRIMs ride the same overlap rule as writes (a trim is a
+    // concurrent zero write in the oracle's model). The trimProb > 0
+    // guard keeps the chance() draw out of pre-thin seed streams.
+    if (_spec.trimProb > 0.0 && _rng.chance(_spec.trimProb)) {
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            std::uint64_t b = pick();
+            if (!_dev.writeInflight(b, nblocks)) {
+                _dev.trim(b, nblocks, on_done);
+                return;
+            }
+        }
+        _dev.read(pick(), nblocks, on_done);
+        return;
+    }
+
     if (_rng.chance(_spec.readRatio)) {
         _dev.read(pick(), nblocks, on_done);
         return;

@@ -27,6 +27,10 @@ struct TenantSpec
     int iodepth = 4;         ///< in-flight target, 1..16
     double readRatio = 0.5;  ///< read probability per op
     double flushProb = 0.01; ///< flush probability per op
+    /** TRIM (deallocate) probability per op — thin-provisioning runs
+     *  only. Exactly 0.0 consumes no extra Rng draws, so pre-thin
+     *  pinned seeds replay byte-identically. */
+    double trimProb = 0.0;
     std::uint32_t minIoBlocks = 1; ///< 4 KiB units
     std::uint32_t maxIoBlocks = 8;
     bool sequential = false; ///< sequential cursor vs uniform random

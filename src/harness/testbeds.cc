@@ -175,10 +175,14 @@ host::NvmeDriver &
 BmStoreTestbed::attachTenant(pcie::FunctionId fn, std::uint64_t bytes,
                              core::NamespaceManager::Policy policy,
                              core::QosLimits qos,
-                             virt::VirtualMachine *vm, int pin_slot)
+                             virt::VirtualMachine *vm, int pin_slot,
+                             bool thin)
 {
-    auto nsid = _controller->namespaces().createAndAttach(
-        fn, bytes, policy, qos, pin_slot);
+    auto nsid = thin
+                    ? _controller->namespaces().createThin(
+                          fn, bytes, policy, qos, pin_slot)
+                    : _controller->namespaces().createAndAttach(
+                          fn, bytes, policy, qos, pin_slot);
     BMS_ASSERT(nsid, "namespace allocation failed");
     host::NvmeDriver::Config dc;
     dc.ioQueues = _cfg.ioQueues;
@@ -196,6 +200,35 @@ BmStoreTestbed::attachTenant(pcie::FunctionId fn, std::uint64_t bytes,
     bool ready = false;
     drv->init([&ready] { ready = true; });
     runUntilTrue([&ready] { return ready; });
+    return *drv;
+}
+
+host::NvmeDriver &
+BmStoreTestbed::attachDriver(pcie::FunctionId fn, std::uint32_t nsid,
+                             std::function<void()> ready)
+{
+    host::NvmeDriver::Config dc;
+    dc.ioQueues = _cfg.ioQueues;
+    dc.queueDepth = _cfg.queueDepth;
+    dc.nsid = nsid;
+    dc.sqPriorities = _cfg.sqPriorities;
+    dc.profile = _cfg.host.profile;
+    auto *drv = _sim->make<host::NvmeDriver>(
+        *_sim,
+        "tenant.fn" + std::to_string(fn) + ".ns" + std::to_string(nsid),
+        _host->memory(), _host->irq(), *_engineSlot, _host->cpus(), fn,
+        dc);
+    if (_cfg.perLaneEvents)
+        drv->setEventLane(_sim->createLane());
+    if (ready) {
+        // Mid-run attach: the caller is inside an event handler and
+        // cannot pump the simulation — init completes asynchronously.
+        drv->init(std::move(ready));
+        return *drv;
+    }
+    bool up = false;
+    drv->init([&up] { up = true; });
+    runUntilTrue([&up] { return up; });
     return *drv;
 }
 

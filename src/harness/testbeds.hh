@@ -173,7 +173,23 @@ class BmStoreTestbed : public TestbedBase
         core::NamespaceManager::Policy policy =
             core::NamespaceManager::Policy::RoundRobin,
         core::QosLimits qos = core::QosLimits(),
-        virt::VirtualMachine *vm = nullptr, int pin_slot = -1);
+        virt::VirtualMachine *vm = nullptr, int pin_slot = -1,
+        bool thin = false);
+
+    /**
+     * Bring up a stock NVMe driver on an *existing* namespace of
+     * function @p fn (a clone materialised from a snapshot, or a
+     * namespace created through the console). With @p ready null the
+     * call pumps the simulation until driver init completes (tests);
+     * passing a callback defers completion instead, so the fuzzer can
+     * attach a clone tenant mid-run from inside an event handler.
+     */
+    host::NvmeDriver &attachDriver(pcie::FunctionId fn,
+                                   std::uint32_t nsid,
+                                   std::function<void()> ready = nullptr);
+
+    /** Claim the next unused VF (clone targets, manual VM wiring). */
+    pcie::FunctionId claimVf() { return _nextVf++; }
 
     /** Create a VM and attach it to the next free VF. */
     struct BmsVm

@@ -21,6 +21,9 @@ struct BlockRequest
         Read,
         Write,
         Flush,
+        /** Dataset-Management deallocate (TRIM) of [offset, offset+len);
+         *  trimmed blocks read back as zeroes on success. */
+        Discard,
     };
 
     Op op = Op::Read;

@@ -180,7 +180,12 @@ void
 NvmeDriver::submit(BlockRequest req)
 {
     BMS_ASSERT(_ready, "submit before init completed");
-    BMS_ASSERT_LE(req.len, _cfg.maxIoBytes, "request exceeds MDTS");
+    // MDTS bounds data transfers only; a discard moves a 16-byte
+    // range descriptor, not req.len bytes (DSM ranges may cover up
+    // to 4 GiB each regardless of MDTS).
+    BMS_ASSERT(req.op == BlockRequest::Op::Discard ||
+                   req.len <= _cfg.maxIoBytes,
+               "request exceeds MDTS: len=", req.len);
     int idx = req.queueHint >= 0 ? req.queueHint % _cfg.ioQueues
                                  : (_rrQueue++ % _cfg.ioQueues);
     Queue &q = _queues[static_cast<std::size_t>(idx) + 1];
@@ -215,8 +220,29 @@ NvmeDriver::pushToQueue(Queue &q, BlockRequest req)
       case BlockRequest::Op::Flush:
         sqe.opcode = static_cast<std::uint8_t>(IoOpcode::Flush);
         break;
+      case BlockRequest::Op::Discard:
+        sqe.opcode = static_cast<std::uint8_t>(IoOpcode::Dsm);
+        break;
     }
-    if (slot.req.op != BlockRequest::Op::Flush) {
+    if (slot.req.op == BlockRequest::Op::Discard) {
+        // One 16-byte Dataset-Management range descriptor, staged in
+        // the slot's (page-aligned) PRP-list page.
+        BMS_ASSERT(slot.req.len % nvme::kBlockSize == 0 &&
+                       slot.req.offset % nvme::kBlockSize == 0,
+                   "discard not block-aligned: offset=", slot.req.offset,
+                   " len=", slot.req.len);
+        nvme::DsmRange range;
+        range.cattr = 0;
+        range.nlb =
+            static_cast<std::uint32_t>(slot.req.len / nvme::kBlockSize);
+        range.slba = slot.req.offset / nvme::kBlockSize;
+        std::uint8_t raw[sizeof(nvme::DsmRange)];
+        nvme::toBytes(range, raw);
+        _mem.write(slot.prpListAddr, sizeof(raw), raw);
+        sqe.prp1 = slot.prpListAddr;
+        sqe.cdw10 = 0; // NR - 1: one range
+        sqe.cdw11 = nvme::kDsmAttrDeallocate;
+    } else if (slot.req.op != BlockRequest::Op::Flush) {
         BMS_ASSERT(slot.req.len % nvme::kBlockSize == 0 &&
                        slot.req.offset % nvme::kBlockSize == 0,
                    "I/O not block-aligned: offset=", slot.req.offset,

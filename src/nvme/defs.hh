@@ -38,7 +38,38 @@ enum class IoOpcode : std::uint8_t
     Flush = 0x00,
     Write = 0x01,
     Read = 0x02,
+    /**
+     * Back-end scrub: the drive zeroes the LBA range with FTL-unmap
+     * timing (no data transfer, no PRPs). The BMS-Engine issues it
+     * when recycling a chunk into a thin namespace and for the
+     * sub-chunk part of a Dataset-Management deallocate; subsequent
+     * reads of the range return zeroes (DLFEAT 001b behaviour).
+     */
+    WriteZeroes = 0x08,
+    /** Dataset Management; only the Deallocate attribute is honoured. */
+    Dsm = 0x09,
 };
+/// @}
+
+/** @name Dataset Management (DSM) field layout. */
+/// @{
+/** CDW11 bit 2: Attribute – Deallocate. */
+inline constexpr std::uint32_t kDsmAttrDeallocate = 0x4;
+/** Max ranges per DSM command (spec: 256, NR is 0-based in CDW10[7:0]). */
+inline constexpr std::uint32_t kDsmMaxRanges = 256;
+
+/**
+ * One 16-byte DSM range descriptor; the command's data buffer holds
+ * NR+1 of these, fetched by the controller via PRP1.
+ */
+struct DsmRange
+{
+    std::uint32_t cattr = 0; ///< context attributes (ignored)
+    std::uint32_t nlb = 0;   ///< number of logical blocks (1-based)
+    std::uint64_t slba = 0;  ///< starting LBA
+};
+
+static_assert(sizeof(DsmRange) == 16, "DSM range must be 16 bytes");
 /// @}
 
 /** @name Admin command opcodes. */

@@ -141,6 +141,9 @@ SsdDevice::dispatchIo(const Sqe &sqe, std::uint16_t sqid)
       case IoOpcode::Flush:
         doFlush(sqe, sqid);
         return;
+      case IoOpcode::WriteZeroes:
+        doWriteZeroes(sqe, sqid);
+        return;
       default:
         _ctrl->complete(sqid, sqe.cid, Status::InvalidOpcode);
         return;
@@ -263,6 +266,25 @@ SsdDevice::doWrite(const Sqe &sqe, std::uint16_t sqid)
                             _ctrl->complete(sqid, sqe.cid, Status::Success);
                         });
                     });
+    });
+}
+
+void
+SsdDevice::doWriteZeroes(const Sqe &sqe, std::uint16_t sqid)
+{
+    if (!checkRange(sqe, sqid))
+        return;
+    // FTL unmap: mark the range deallocated so reads return zeroes.
+    // No data moves over the interface or to the media — the cost is
+    // a mapping-table update, modelled with flush latency. Not subject
+    // to write-error injection: the zero guarantee backing thin reads
+    // must be unconditional (a real drive retries unmap internally).
+    std::uint64_t off = sqe.slba() * nvme::kBlockSize;
+    std::uint64_t len = sqe.dataBytes();
+    if (_cfg.functionalData)
+        _flash.clearRange(off, len);
+    _media->flush([this, sqe, sqid] {
+        _ctrl->complete(sqid, sqe.cid, Status::Success);
     });
 }
 

@@ -179,6 +179,7 @@ class SsdDevice : public sim::SimObject, public pcie::PcieDeviceIf
     void executeAdmin(const nvme::Sqe &sqe);
     void doRead(const nvme::Sqe &sqe, std::uint16_t sqid);
     void doWrite(const nvme::Sqe &sqe, std::uint16_t sqid);
+    void doWriteZeroes(const nvme::Sqe &sqe, std::uint16_t sqid);
     void doFlush(const nvme::Sqe &sqe, std::uint16_t sqid);
 
     /**

@@ -27,6 +27,8 @@ opCode(host::BlockRequest::Op op)
         return 'W';
       case host::BlockRequest::Op::Flush:
         return 'F';
+      case host::BlockRequest::Op::Discard:
+        return 'D';
     }
     return '?';
 }
@@ -43,6 +45,9 @@ opFromCode(char c, host::BlockRequest::Op &out)
         return true;
       case 'F':
         out = host::BlockRequest::Op::Flush;
+        return true;
+      case 'D':
+        out = host::BlockRequest::Op::Discard;
         return true;
       default:
         return false;

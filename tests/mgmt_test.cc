@@ -336,3 +336,48 @@ TEST(MgmtConsole, SmartTelemetryReflectsLoad)
         });
     EXPECT_TRUE(test::runUntil(bed.sim(), [&] { return polled; }));
 }
+
+// df must separate promised (logical) from allocated (physical)
+// capacity per slot: a thick namespace reserves its chunks up front,
+// a thin one only promises them — the gap is the overcommit the
+// operator watches.
+TEST(MgmtConsole, DfSeparatesLogicalFromPhysical)
+{
+    harness::TestbedConfig cfg;
+    cfg.ssdCount = 1;
+    harness::BmStoreTestbed bed(cfg);
+    Eid ctrl = bed.controller().endpoint().eid();
+    std::uint64_t chunk = bed.controller().namespaces().chunkBlocks() * 4096;
+
+    // One thick namespace (2 chunks, physically reserved)...
+    bed.attachTenant(0, 2 * chunk);
+    // ...and one thin namespace promising 8 chunks, backed by nothing.
+    bool created = false;
+    bed.console().createNamespace(ctrl, 1, 8 * chunk, 0,
+                                  core::QosLimits(),
+                                  [&](std::optional<std::uint32_t> id) {
+                                      EXPECT_TRUE(id.has_value());
+                                      created = true;
+                                  },
+                                  /*thin=*/true);
+    ASSERT_TRUE(test::runUntil(bed.sim(), [&] { return created; }));
+
+    bool polled = false;
+    bed.console().df(ctrl, [&](std::vector<MiDfEntry> df) {
+        ASSERT_EQ(df.size(), 1u);
+        EXPECT_EQ(df[0].usedChunks, 2u); // thick reservation only
+        EXPECT_EQ(df[0].freeChunks, df[0].totalChunks - 2);
+        // Promised capacity counts both namespaces.
+        EXPECT_EQ(df[0].logicalChunks, 10u);
+        polled = true;
+    });
+    ASSERT_TRUE(test::runUntil(bed.sim(), [&] { return polled; }));
+
+    // ioStats on the thin function reports the promised size.
+    bool stats = false;
+    bed.console().ioStats(ctrl, 1, [&](std::optional<MiIoStats> st) {
+        ASSERT_TRUE(st.has_value());
+        stats = true;
+    });
+    ASSERT_TRUE(test::runUntil(bed.sim(), [&] { return stats; }));
+}
