@@ -117,6 +117,12 @@ run_san() {
     echo "== ASan+UBSan fuzz (thin/snapshot seeds) =="
     ./build-asan/fuzz --seeds=501:504 --horizon-ms=30 \
         --force-thin || fail=1
+    # The pinned fleet seeds: 2-4 cards in one simulation, admissions
+    # through the placement scorer, a rolling wave (firmware or
+    # lossless replace) under a failure budget, and a correlated
+    # drill with node losses and upgrade storms mid-wave.
+    echo "== ASan+UBSan fuzz (fleet seeds) =="
+    ./build-asan/fuzz --seeds=601:604 --fleet --horizon-ms=60 || fail=1
     # Quick-mode full-card sweep: catches lane-sharding perf
     # regressions via the events/sec floor (set low — ASan costs
     # roughly an order of magnitude of simulator speed).
@@ -128,13 +134,19 @@ run_san() {
     # time, so it holds even at ASan speed.
     echo "== ASan+UBSan ext_remote_storage (quick) =="
     ./build-asan/bench/ext_remote_storage --quick || fail=1
+    # Quick-mode fleet smoke: an 8-card rolling wave plus drill with
+    # the makespan gate on simulated time (ASan-proof) and a floor on
+    # events/sec set an order of magnitude under native speed.
+    echo "== ASan+UBSan ext_fleet (quick) =="
+    ./build-asan/bench/ext_fleet --quick --events-floor=20000 \
+        --wall-limit-s=580 || fail=1
 }
 
 run_lane() {
     echo "== lane-conflict audit (BMS_LANE_AUDIT=ON) =="
     cmake -B build-lane -S . -DBMS_LANE_AUDIT=ON >/dev/null
-    cmake --build build-lane --target fuzz ext_full_card bms-lint \
-        -j "${jobs}" >/dev/null
+    cmake --build build-lane --target fuzz ext_full_card ext_fleet \
+        bms-lint -j "${jobs}" >/dev/null
     local out=build-lane
     # The pinned fuzz schedules again, now with every instrumented
     # shared structure reporting (tick, lane, object, read|write).
@@ -152,10 +164,19 @@ run_lane() {
         --lane-audit-out=${out}/census_tiering.json >/dev/null || fail=1
     ./${out}/fuzz --seeds=501:504 --horizon-ms=20 --force-thin \
         --lane-audit-out=${out}/census_thin.json >/dev/null || fail=1
+    # Fleet runs prefix every object with cardN.; the census tools
+    # strip the prefix, so multi-card conflicts gate against the same
+    # single-card baseline.
+    ./${out}/fuzz --seeds=601:602 --fleet --horizon-ms=40 \
+        --lane-audit-out=${out}/census_fleet.json >/dev/null || fail=1
     ./${out}/bench/ext_full_card --quick --events-floor=50000 \
         --wall-limit-s=300 \
         --lane-audit-out=${out}/census_full_card.json \
         --json=${out}/BENCH_full_card.json >/dev/null || fail=1
+    ./${out}/bench/ext_fleet --quick --events-floor=50000 \
+        --wall-limit-s=580 \
+        --lane-audit-out=${out}/census_fleet_bench.json \
+        --json=${out}/BENCH_fleet.json >/dev/null || fail=1
     # One ranked census over every run — the artifact a parallel-lane
     # PR reads to learn which objects need sharding or staging.
     ./${out}/tools/bms-lint/bms-lint --merge-census \

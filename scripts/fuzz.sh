@@ -6,6 +6,16 @@
 #   scripts/fuzz.sh                 # seeds 1..100, default horizon
 #   scripts/fuzz.sh 500 1000        # seeds 500..1499
 #   scripts/fuzz.sh 1 50 --horizon-ms=250 --max-ssds=4
+#   scripts/fuzz.sh 601 100 --fleet # fleet mode: multi-card control
+#                                   # plane (waves, drills, placement)
+#
+# Seed-family conventions (the pinned CI families replay these):
+#   1..      single-card torture mix
+#   201..    forced chunk migration / evacuation
+#   301..    multi-VF tenants (up to 16)
+#   401..    remote tiering + node loss
+#   501..    thin provisioning + snapshots
+#   601..    fleet (--fleet): 2-4 cards, rolling waves, fault drills
 #
 # Unlike `fuzz --seeds=A:B` (which aborts on the first failure, for
 # ctest/CI), the sweep keeps going past failing seeds and prints the

@@ -28,6 +28,15 @@ BmsController::BmsController(sim::Simulator &sim, std::string name,
     _migration->setSlotBusyProbe(
         [this](int slot) { return _hotUpgrade->upgradeInProgress(slot); });
     _hotPlug->setLossless(_migration.get(), &_nsMgr);
+    // Maintenance flows mutually exclude per slot: a firmware upgrade
+    // must not aim admin commands at a slot whose disk a replacement
+    // has detached, and a replacement must not pull the disk out from
+    // under an upgrade's stored I/O context. Either loser is rejected
+    // cleanly (ok=false), never interleaved.
+    _hotUpgrade->setSlotBlocked(
+        [this](int slot) { return _hotPlug->replaceInProgress(slot); });
+    _hotPlug->setSlotBlocked(
+        [this](int slot) { return _hotUpgrade->upgradeInProgress(slot); });
     _tiering = std::make_unique<TieringManager>(
         sim, name + ".tiering", engine, _nsMgr, *_migration, cfg.tiering);
     _tiering->setMonitor(_monitor.get());

@@ -47,6 +47,14 @@ HotUpgradeManager::upgrade(int slot, std::vector<std::uint8_t> image,
         schedule(0, [done = std::move(done)] { done(Report{}); });
         return;
     }
+    if (_slotBlocked && _slotBlocked(slot)) {
+        // A hot-plug replacement owns the slot: its disk may already
+        // be detached, so firmware admin commands have no target.
+        ++_rejected;
+        logWarn("upgrade rejected: slot ", slot, " mid-replacement");
+        schedule(0, [done = std::move(done)] { done(Report{}); });
+        return;
+    }
     _busy.insert(slot);
     auto report = std::make_shared<Report>();
     sim::Tick t0 = now();

@@ -81,11 +81,23 @@ class HotUpgradeManager : public sim::SimObject
 
     std::uint32_t upgradesCompleted() const { return _completed; }
 
-    /** Rejected because the slot was already mid-upgrade. */
+    /** Rejected because the slot was already mid-upgrade (or blocked
+     *  by another maintenance flow, see setSlotBlocked). */
     std::uint32_t upgradesRejected() const { return _rejected; }
 
     /** True while slot @p slot has an upgrade in flight. */
     bool upgradeInProgress(int slot) const { return _busy.count(slot); }
+
+    /**
+     * External mutual exclusion: when the predicate says @p slot is
+     * blocked (e.g. a hot-plug replacement has it detached or
+     * quiesced), upgrade() rejects cleanly instead of issuing admin
+     * commands toward a slot whose disk may be out of the caddy.
+     */
+    void setSlotBlocked(std::function<bool(int)> blocked)
+    {
+        _slotBlocked = std::move(blocked);
+    }
 
   private:
     void download(int slot, std::uint64_t offset,
@@ -97,6 +109,7 @@ class HotUpgradeManager : public sim::SimObject
     std::uint32_t _completed = 0;
     std::uint32_t _rejected = 0;
     std::set<int> _busy;
+    std::function<bool(int)> _slotBlocked;
 };
 
 } // namespace bms::core

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fleet-fault half of the FleetManager: correlated SSD fault
+ * windows, storage-node losses recovered through the failNode verb,
+ * and upgrade storms bounced off the controllers' re-entrancy guard.
+ */
+
+#include "fleet/fleet_manager.hh"
+
+#include "sim/check.hh"
+#include "ssd/ssd_device.hh"
+
+namespace bms::fleet {
+
+bool
+FleetManager::drillHits(const FaultDrill &drill, int card) const
+{
+    if (card < drill.firstCard)
+        return false;
+    int stride = drill.cardStride < 1 ? 1 : drill.cardStride;
+    return (card - drill.firstCard) % stride == 0;
+}
+
+void
+FleetManager::scheduleDrill(const FaultDrill &drill)
+{
+    BMS_ASSERT(!drill.loseNode || _cfg.remoteNodesPerCard > 0,
+               "node-loss drill needs remote nodes behind the cards");
+    _sim->scheduleAt(drill.at, [this, drill] { openDrillWindow(drill); });
+    _sim->scheduleAt(drill.at + drill.duration,
+                     [this, drill] { closeDrillWindow(drill); });
+}
+
+void
+FleetManager::openDrillWindow(const FaultDrill &drill)
+{
+    ++_faultWindows;
+    record("drill OPEN stride=" + std::to_string(drill.cardStride));
+    ssd::FaultConfig rates;
+    rates.readErrorRate = drill.readErrorRate;
+    rates.writeErrorRate = drill.writeErrorRate;
+    rates.latencySpikeRate = drill.latencySpikeRate;
+    for (int c = 0; c < cards(); ++c) {
+        if (!drillHits(drill, c))
+            continue;
+        for (int s = 0; s < _cfg.ssdsPerCard; ++s)
+            card(c).ssd(s).faults() = rates;
+        if (_onFaultWindow)
+            _onFaultWindow(c, true);
+        if (drill.loseNode) {
+            ++_pendingDrillOps;
+            record("drill failNode card=" + std::to_string(c));
+            card(c).console().failNode(
+                ctrlEid(c), 0, [this](core::MiFailNodeResult r) {
+                    if (r.ok)
+                        ++_nodeLosses;
+                    --_pendingDrillOps;
+                });
+        }
+        if (drill.upgradeStorm) {
+            // A redundant concurrent upgrade aimed at slot 0: when a
+            // wave already has the slot mid-upgrade the controller
+            // must reject it cleanly (re-entrancy guard), never
+            // interleave two context store/reload sequences.
+            ++_pendingDrillOps;
+            record("drill storm card=" + std::to_string(c));
+            card(c).console().firmwareUpgrade(
+                ctrlEid(c), 0, 1u << 16,
+                [this](core::MiUpgradeResult r) {
+                    if (!r.ok)
+                        ++_stormRejections;
+                    --_pendingDrillOps;
+                });
+        }
+    }
+}
+
+void
+FleetManager::closeDrillWindow(const FaultDrill &drill)
+{
+    record("drill CLOSE");
+    for (int c = 0; c < cards(); ++c) {
+        if (!drillHits(drill, c))
+            continue;
+        for (int s = 0; s < _cfg.ssdsPerCard; ++s)
+            card(c).ssd(s).faults() = ssd::FaultConfig{};
+        // The harness keeps oracles lenient after the window closes
+        // (commands submitted near the edge may fail late); flipping
+        // the hook off is still its cue that rates dropped to zero.
+        if (_onFaultWindow)
+            _onFaultWindow(c, false);
+    }
+}
+
+} // namespace bms::fleet

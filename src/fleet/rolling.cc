@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Rolling-ops half of the FleetManager: fleet-wide firmware upgrades
+ * and lossless disk replacements, card by card, slot by slot, under
+ * a failure budget with pause/resume/abort.
+ *
+ * The wave machine is fully event-driven (each per-slot op is one
+ * console verb whose completion schedules the next), so a wave
+ * interleaves with tenant I/O, fault drills and admissions exactly
+ * as it would on a production fleet.
+ */
+
+#include "fleet/fleet_manager.hh"
+
+#include "sim/check.hh"
+
+namespace bms::fleet {
+
+void
+FleetManager::startWave(const WaveConfig &cfg)
+{
+    BMS_ASSERT(_wave.state != WaveState::Running &&
+                   _wave.state != WaveState::Paused,
+               "a wave is already in flight");
+    _waveCfg = cfg;
+    _wave = WaveReport{};
+    _wave.state = WaveState::Running;
+    _waveCard = 0;
+    _waveSlot = 0;
+    _waveBudget = cfg.failureBudget;
+    _waveStart = _sim->now();
+    _worstGapSeen = 0;
+    record(std::string("wave start: ") +
+           (cfg.op == WaveOp::FirmwareUpgrade ? "firmware" : "replace") +
+           " budget=" + std::to_string(cfg.failureBudget));
+    waveNextOp();
+}
+
+void
+FleetManager::resumeWave(int freshBudget)
+{
+    BMS_ASSERT(_wave.state == WaveState::Paused,
+               "resume without a paused wave");
+    _waveBudget = freshBudget;
+    _wave.state = WaveState::Running;
+    record("wave resume: budget=" + std::to_string(freshBudget));
+    waveNextOp();
+}
+
+void
+FleetManager::abortWave()
+{
+    BMS_ASSERT(_wave.state == WaveState::Paused,
+               "abort is an operator decision on a paused wave");
+    _wave.state = WaveState::Aborted;
+    _wave.makespan = _sim->now() - _waveStart;
+    record("wave ABORTED");
+}
+
+void
+FleetManager::waveNextOp()
+{
+    if (_waveCard >= cards()) {
+        _wave.state = WaveState::Done;
+        _wave.makespan = _sim->now() - _waveStart;
+        record("wave done: ok=" + std::to_string(_wave.opsOk) +
+               " failed=" + std::to_string(_wave.opsFailed) +
+               " gate-trips=" + std::to_string(_wave.gateTrips));
+        return;
+    }
+    int card_ix = _waveCard;
+    int slot = _waveSlot;
+    core::Eid eid = ctrlEid(card_ix);
+    record("wave op card=" + std::to_string(card_ix) +
+           " slot=" + std::to_string(slot));
+    if (_waveCfg.op == WaveOp::FirmwareUpgrade) {
+        card(card_ix).console().firmwareUpgrade(
+            eid, static_cast<std::uint8_t>(slot), _waveCfg.imageBytes,
+            [this](core::MiUpgradeResult r) {
+                waveOpDone(r.ok, r.ioPauseMs, 0);
+            });
+    } else {
+        card(card_ix).console().hotPlug(
+            eid, static_cast<std::uint8_t>(slot),
+            [this](core::MiHotPlugResult r) {
+                waveOpDone(r.ok, r.ioPauseMs, r.evacuatedChunks);
+            },
+            /*lossless=*/true);
+    }
+}
+
+void
+FleetManager::waveOpDone(bool ok, double io_pause_ms,
+                         std::uint64_t evacuated)
+{
+    // Advance the position first: a failed op is consumed by the
+    // budget, not retried verbatim on resume.
+    _waveSlot += 1;
+    if (_waveSlot >= _cfg.ssdsPerCard) {
+        _waveSlot = 0;
+        _waveCard += 1;
+        _wave.cardsDone += 1;
+    }
+
+    int strikes = 0;
+    if (ok) {
+        _wave.opsOk += 1;
+    } else {
+        _wave.opsFailed += 1;
+        ++strikes;
+        record("wave op FAILED");
+    }
+    if (io_pause_ms > _wave.ioPauseMsMax)
+        _wave.ioPauseMsMax = io_pause_ms;
+    _wave.evacuatedChunks += evacuated;
+
+    // Per-tenant availability gate: a NEW worst completion gap above
+    // the bound is one strike (a single stall must not bleed strikes
+    // for the rest of the wave).
+    if (_availabilityProbe && _waveCfg.availabilityBound > 0) {
+        sim::Tick gap = _availabilityProbe();
+        if (gap > _waveCfg.availabilityBound && gap > _worstGapSeen) {
+            _wave.gateTrips += 1;
+            ++strikes;
+            record("wave gate trip: gap=" +
+                   std::to_string(sim::toMs(gap)) + "ms");
+        }
+        if (gap > _worstGapSeen)
+            _worstGapSeen = gap;
+    }
+
+    _waveBudget -= strikes;
+    if (strikes > 0 && _waveBudget < 0) {
+        _wave.state = WaveState::Paused;
+        _wave.pauses += 1;
+        record("wave PAUSED: failure budget exhausted");
+        return;
+    }
+    waveNextOp();
+}
+
+} // namespace bms::fleet

@@ -6,7 +6,14 @@
  *        [--max-ssds=N] [--min-ssds=N] [--no-faults] [--no-control]
  *        [--no-upgrade] [--no-migration] [--force-migration]
  *        [--remote-nodes=N] [--force-tiering] [--thin] [--force-thin]
+ *        [--fleet] [--cards=N] [--no-wave] [--no-drill]
  *        [--paranoid] [--log=LEVEL] [--lane-audit-out=PATH]
+ *
+ * --fleet switches to the fleet topology (seed family 601+): N cards
+ * in one simulation, randomized admissions, a rolling wave and a
+ * correlated fault drill, all drawn from a forked stream on a code
+ * path that never constructs the single-card Fuzzer — the legacy
+ * pinned families replay byte-identically.
  *
  * BMS_FUZZ_SEED=N is equivalent to --seed=N (repro from CI logs).
  * Exits nonzero on the first failing seed, after printing the seed
@@ -18,6 +25,7 @@
 #include <cstring>
 #include <string>
 
+#include "fuzz/fleet_fuzzer.hh"
 #include "fuzz/fuzzer.hh"
 #include "harness/runner.hh"
 #include "sim/lane_audit.hh"
@@ -81,6 +89,27 @@ printReport(const fuzz::FuzzReport &r)
     }
 }
 
+void
+printFleetReport(const fuzz::FleetFuzzReport &r)
+{
+    std::printf("seed=%llu ok (fleet): cards=%d placed=%d refused=%d "
+                "active=%d ops=%llu verified-blocks=%llu errors=%llu "
+                "wave=%u/%u pauses=%u gate-trips=%u evac-chunks=%llu "
+                "makespan=%.1fms drill-windows=%u node-losses=%u "
+                "storm-rejections=%u max-gap=%.1fms trace=%016llx\n",
+                static_cast<unsigned long long>(r.seed), r.cards,
+                r.placed, r.refused, r.active,
+                static_cast<unsigned long long>(r.totalOps),
+                static_cast<unsigned long long>(r.verifiedBlocks),
+                static_cast<unsigned long long>(r.totalErrors),
+                r.waveOpsOk, r.waveOpsFailed, r.wavePauses,
+                r.waveGateTrips,
+                static_cast<unsigned long long>(r.waveEvacuatedChunks),
+                sim::toMs(r.waveMakespan), r.faultWindows, r.nodeLosses,
+                r.stormRejections, sim::toMs(r.maxCompletionGap),
+                static_cast<unsigned long long>(r.traceHash));
+}
+
 } // namespace
 
 int
@@ -89,6 +118,8 @@ main(int argc, char **argv)
     harness::applyCommonFlags(argc, argv);
 
     fuzz::FuzzConfig cfg;
+    fuzz::FleetFuzzConfig fleet_cfg;
+    bool fleet = false;
     std::uint64_t first = 1, last = 1;
     bool seeded = false;
     if (const char *env = std::getenv("BMS_FUZZ_SEED")) {
@@ -136,6 +167,14 @@ main(int argc, char **argv)
             cfg.enableThin = true;
         } else if (std::strcmp(a, "--force-thin") == 0) {
             cfg.forceThin = true;
+        } else if (std::strcmp(a, "--fleet") == 0) {
+            fleet = true;
+        } else if (parseU64(a, "--cards=", v)) {
+            fleet_cfg.cards = static_cast<int>(v);
+        } else if (std::strcmp(a, "--no-wave") == 0) {
+            fleet_cfg.enableWave = false;
+        } else if (std::strcmp(a, "--no-drill") == 0) {
+            fleet_cfg.enableDrill = false;
         } else if (std::strncmp(a, "--paranoid", 10) == 0 ||
                    std::strncmp(a, "--log=", 6) == 0 ||
                    std::strncmp(a, "--lane-audit-out=", 17) == 0) {
@@ -157,8 +196,15 @@ main(int argc, char **argv)
         }
         // Failures panic (abort) inside run(), printing the seed and
         // the op log — exactly what a sweep script wants to capture.
-        fuzz::Fuzzer fuzzer(cfg);
-        printReport(fuzzer.run());
+        if (fleet) {
+            fleet_cfg.seed = seed;
+            fleet_cfg.horizon = cfg.horizon;
+            fuzz::FleetFuzzer fuzzer(fleet_cfg);
+            printFleetReport(fuzzer.run());
+        } else {
+            fuzz::Fuzzer fuzzer(cfg);
+            printReport(fuzzer.run());
+        }
         std::fflush(stdout);
     }
     return 0;

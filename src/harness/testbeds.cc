@@ -8,8 +8,13 @@ namespace bms::harness {
 
 TestbedBase::TestbedBase(const TestbedConfig &cfg) : _cfg(cfg)
 {
-    _sim = std::make_unique<sim::Simulator>(cfg.seed);
-    _host = _sim->make<host::HostSystem>(*_sim, "host", cfg.host);
+    if (cfg.sharedSim) {
+        _sim = cfg.sharedSim;
+    } else {
+        _ownedSim = std::make_unique<sim::Simulator>(cfg.seed);
+        _sim = _ownedSim.get();
+    }
+    _host = _sim->make<host::HostSystem>(*_sim, nm("host"), cfg.host);
 }
 
 void
@@ -32,7 +37,7 @@ NativeTestbed::NativeTestbed(const TestbedConfig &cfg) : TestbedBase(cfg)
     int ready = 0;
     for (int i = 0; i < cfg.ssdCount; ++i) {
         auto *ssd = _sim->make<ssd::SsdDevice>(
-            *_sim, "ssd" + std::to_string(i), cfg.ssdConfig(i));
+            *_sim, nm("ssd" + std::to_string(i)), cfg.ssdConfig(i));
         pcie::RootPort &port = _host->addSlot(4);
         port.attach(*ssd);
         _ssds.push_back(ssd);
@@ -44,7 +49,7 @@ NativeTestbed::NativeTestbed(const TestbedConfig &cfg) : TestbedBase(cfg)
         dc.queueDepth = cfg.queueDepth;
         dc.profile = cfg.host.profile;
         auto *drv = _sim->make<host::NvmeDriver>(
-            *_sim, "nvme" + std::to_string(i), _host->memory(),
+            *_sim, nm("nvme" + std::to_string(i)), _host->memory(),
             _host->irq(), port, _host->cpus(), 0, dc);
         drv->init([&ready] { ++ready; });
         _drivers.push_back(drv);
@@ -58,7 +63,7 @@ NativeTestbed::addVfioVm(int disk, virt::VmConfig vm_cfg)
 {
     VfioVm out;
     out.vm = _sim->make<virt::VirtualMachine>(
-        *_sim, "vm" + std::to_string(_vmIndex++), vm_cfg);
+        *_sim, nm("vm" + std::to_string(_vmIndex++)), vm_cfg);
     host::NvmeDriver::Config dc;
     dc.ioQueues = _cfg.ioQueues;
     dc.queueDepth = _cfg.queueDepth;
@@ -81,7 +86,7 @@ BmStoreTestbed::BmStoreTestbed(const TestbedConfig &cfg) : TestbedBase(cfg)
     core::EngineConfig ecfg = cfg.engine;
     ecfg.ssdSlots = cfg.ssdCount + remote_slots;
     ecfg.perLaneEvents = cfg.perLaneEvents;
-    _engine = _sim->make<core::BmsEngine>(*_sim, "bms", ecfg);
+    _engine = _sim->make<core::BmsEngine>(*_sim, nm("bms"), ecfg);
     _engineSlot = &_host->addSlot(16);
     _engineSlot->attach(*_engine);
     core::BmsControllerConfig ccfg = cfg.ctrl;
@@ -92,10 +97,10 @@ BmStoreTestbed::BmStoreTestbed(const TestbedConfig &cfg) : TestbedBase(cfg)
     if (remote_slots > 0)
         ccfg.mapGeometry.wide = true;
     _controller =
-        _sim->make<core::BmsController>(*_sim, "bmsc", *_engine, ccfg);
-    _channel = _sim->make<core::MctpChannel>(*_sim, "mctp-vdm");
+        _sim->make<core::BmsController>(*_sim, nm("bmsc"), *_engine, ccfg);
+    _channel = _sim->make<core::MctpChannel>(*_sim, nm("mctp-vdm"));
     _channel->bind(_controller->endpoint());
-    _console = _sim->make<core::MgmtConsole>(*_sim, "console");
+    _console = _sim->make<core::MgmtConsole>(*_sim, nm("console"));
     _channel->bind(_console->endpoint());
     _controller->monitor().start();
 
@@ -122,7 +127,7 @@ BmStoreTestbed::BmStoreTestbed(const TestbedConfig &cfg) : TestbedBase(cfg)
     int ready = 0;
     for (int i = 0; i < cfg.ssdCount; ++i) {
         auto *ssd = _sim->make<ssd::SsdDevice>(
-            *_sim, "bssd" + std::to_string(i), cfg.ssdConfig(i));
+            *_sim, nm("bssd" + std::to_string(i)), cfg.ssdConfig(i));
         // Media/controller events for each SSD get a private lane.
         if (cfg.perLaneEvents)
             ssd->setEventLane(_sim->createLane());
@@ -137,9 +142,9 @@ BmStoreTestbed::BmStoreTestbed(const TestbedConfig &cfg) : TestbedBase(cfg)
         remote::StorageServer::Config scfg = cfg.remoteServer;
         scfg.perLaneEvents = cfg.perLaneEvents;
         auto *server = _sim->make<remote::StorageServer>(
-            *_sim, "node" + std::to_string(n), scfg);
+            *_sim, nm("node" + std::to_string(n)), scfg);
         auto *net = _sim->make<remote::NetworkLink>(
-            *_sim, "net" + std::to_string(n), cfg.network);
+            *_sim, nm("net" + std::to_string(n)), cfg.network);
         _servers.push_back(server);
         _links.push_back(net);
         for (int v = 0; v < cfg.volumesPerNode; ++v) {
@@ -150,7 +155,7 @@ BmStoreTestbed::BmStoreTestbed(const TestbedConfig &cfg) : TestbedBase(cfg)
                  cfg.remoteVolumeBytes});
             auto *rdev = _sim->make<remote::RemoteNvmeDevice>(
                 *_sim,
-                "rvol" + std::to_string(n) + "." + std::to_string(v),
+                nm("rvol" + std::to_string(n) + "." + std::to_string(v)),
                 *net, *server, vol, cfg.remoteClient);
             _remotes.push_back(rdev);
             int slot = remoteSlot(n, v);
@@ -192,7 +197,7 @@ BmStoreTestbed::attachTenant(pcie::FunctionId fn, std::uint64_t bytes,
     dc.profile = vm ? vm->profile() : _cfg.host.profile;
     host::CpuSet &cpus = vm ? vm->vcpus() : _host->cpus();
     auto *drv = _sim->make<host::NvmeDriver>(
-        *_sim, "tenant.fn" + std::to_string(fn), _host->memory(),
+        *_sim, nm("tenant.fn" + std::to_string(fn)), _host->memory(),
         _host->irq(), *_engineSlot, cpus, fn, dc);
     // Tenant drivers are per-function hot paths: private event lane.
     if (_cfg.perLaneEvents)
@@ -215,7 +220,7 @@ BmStoreTestbed::attachDriver(pcie::FunctionId fn, std::uint32_t nsid,
     dc.profile = _cfg.host.profile;
     auto *drv = _sim->make<host::NvmeDriver>(
         *_sim,
-        "tenant.fn" + std::to_string(fn) + ".ns" + std::to_string(nsid),
+        nm("tenant.fn" + std::to_string(fn) + ".ns" + std::to_string(nsid)),
         _host->memory(), _host->irq(), *_engineSlot, _host->cpus(), fn,
         dc);
     if (_cfg.perLaneEvents)
@@ -241,7 +246,7 @@ BmStoreTestbed::addVm(std::uint64_t ns_bytes, core::QosLimits qos,
     BMS_ASSERT_LT(out.fn, _engine->config().totalFunctions(),
                   "out of VFs (the card exposes 4 PFs + 124 VFs)");
     out.vm = _sim->make<virt::VirtualMachine>(
-        *_sim, "vm.fn" + std::to_string(out.fn), vm_cfg);
+        *_sim, nm("vm.fn" + std::to_string(out.fn)), vm_cfg);
     out.driver = &attachTenant(out.fn, ns_bytes,
                                core::NamespaceManager::Policy::RoundRobin,
                                qos, out.vm);
@@ -254,8 +259,8 @@ BmStoreTestbed::enableSpareDisks()
     _controller->setSpareSsdProvider([this](int slot) {
         auto *spare = _sim->make<ssd::SsdDevice>(
             *_sim,
-            "spare" + std::to_string(_spareCount++) + ".slot" +
-                std::to_string(slot),
+            nm("spare" + std::to_string(_spareCount++) + ".slot" +
+               std::to_string(slot)),
             _cfg.ssd);
         return static_cast<pcie::PcieDeviceIf *>(spare);
     });
@@ -268,12 +273,12 @@ VhostTestbed::VhostTestbed(const TestbedConfig &cfg,
                            baselines::SpdkVhostConfig vhost_cfg)
     : TestbedBase(cfg)
 {
-    _target = _sim->make<baselines::SpdkVhostTarget>(*_sim, "vhost",
+    _target = _sim->make<baselines::SpdkVhostTarget>(*_sim, nm("vhost"),
                                                      vhost_cfg);
     int ready = 0;
     for (int i = 0; i < cfg.ssdCount; ++i) {
         auto *ssd = _sim->make<ssd::SsdDevice>(
-            *_sim, "ssd" + std::to_string(i), cfg.ssdConfig(i));
+            *_sim, nm("ssd" + std::to_string(i)), cfg.ssdConfig(i));
         pcie::RootPort &port = _host->addSlot(4);
         port.attach(*ssd);
         host::NvmeDriver::Config dc;
@@ -281,7 +286,7 @@ VhostTestbed::VhostTestbed(const TestbedConfig &cfg,
         dc.queueDepth = cfg.queueDepth;
         dc.profile = baselines::spdkBackendProfile();
         auto *drv = _sim->make<host::NvmeDriver>(
-            *_sim, "spdk-nvme" + std::to_string(i), _host->memory(),
+            *_sim, nm("spdk-nvme" + std::to_string(i)), _host->memory(),
             _host->irq(), port, _host->cpus(), 0, dc);
         drv->init([&ready] { ++ready; });
         _ssds.push_back(ssd);
@@ -296,7 +301,7 @@ VhostTestbed::addVm(int disk, std::uint64_t offset, std::uint64_t length,
 {
     VhostVm out;
     out.vm = _sim->make<virt::VirtualMachine>(
-        *_sim, "vm" + std::to_string(_vmIndex++), vm_cfg);
+        *_sim, nm("vm" + std::to_string(_vmIndex++)), vm_cfg);
     auto view = std::make_unique<host::OffsetBlockDevice>(
         *_backends.at(disk), offset, length);
     out.blk = _sim->make<virt::VirtioBlkDevice>(

@@ -36,6 +36,21 @@ struct TestbedConfig
 {
     int ssdCount = 1;
     std::uint64_t seed = 1;
+    /**
+     * Join an existing simulation instead of owning a private one
+     * (fleet runs: many cards, one deterministic event queue). The
+     * pointed-to Simulator must outlive the testbed; `seed` is
+     * ignored when set.
+     */
+    sim::Simulator *sharedSim = nullptr;
+    /**
+     * Prefix for every component name ("card3." gives "card3.bms",
+     * "card3.bssd0", ...). Required to keep names unique when
+     * several testbeds share one simulation; empty for the classic
+     * single-card world so all existing names (and the lane-audit
+     * census baseline) are unchanged.
+     */
+    std::string namePrefix;
     host::HostConfig host;
     ssd::SsdDevice::Config ssd;
     /**
@@ -115,8 +130,17 @@ class TestbedBase
                       sim::Tick step = sim::milliseconds(1));
 
   protected:
+    /** Component name with the configured prefix applied. */
+    std::string nm(const std::string &base) const
+    {
+        return _cfg.namePrefix + base;
+    }
+
     TestbedConfig _cfg;
-    std::unique_ptr<sim::Simulator> _sim;
+    /** Owned only when cfg.sharedSim is null. */
+    std::unique_ptr<sim::Simulator> _ownedSim;
+    /** The world this testbed lives in (owned or shared). */
+    sim::Simulator *_sim = nullptr;
     host::HostSystem *_host = nullptr;
 };
 

@@ -134,9 +134,12 @@ class EventQueue
     void checkInvariants() const;
 
   private:
-    /** EventId layout: generation(32) | lane(12) | slot(20). */
-    static constexpr unsigned kSlotBits = 20;
-    static constexpr unsigned kLaneBits = 12;
+    /** EventId layout: generation(32) | lane(14) | slot(18).
+     *  Lanes are per-component, so fleet-scale runs (hundreds of
+     *  cards × ~130 lanes each) need the wide lane space; each lane's
+     *  slab stays far below 256k pending callbacks. */
+    static constexpr unsigned kSlotBits = 18;
+    static constexpr unsigned kLaneBits = 14;
     static constexpr std::uint32_t kMaxSlots = 1u << kSlotBits;
     static constexpr std::uint32_t kMaxLanes = 1u << kLaneBits;
 

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fuzz/fleet_fuzzer.hh"
 #include "fuzz/fuzzer.hh"
 #include "fuzz/op_log.hh"
 #include "fuzz/oracle.hh"
@@ -588,4 +589,63 @@ TEST(Fuzz, OracleCatchesLostSharedBitSkippingCow)
         test::runUntil(bed.sim(), [] { return false; },
                        sim::milliseconds(5));
     }());
+}
+
+// The fleet-pinned seed set (601-604): N cards in one simulation,
+// randomized admissions, a rolling wave and a correlated drill — any
+// oracle or invariant violation panics, so "the call returns" is the
+// core assertion here too.
+TEST(Fuzz, FleetSeedsPassTheOracle)
+{
+    for (std::uint64_t seed = 601; seed <= 604; ++seed) {
+        SCOPED_TRACE("seed=" + std::to_string(seed));
+        fuzz::FleetFuzzConfig cfg;
+        cfg.seed = seed;
+        cfg.horizon = sim::milliseconds(60);
+        fuzz::FleetFuzzer fuzzer(cfg);
+        fuzz::FleetFuzzReport r = fuzzer.run();
+        EXPECT_GE(r.cards, 2);
+        EXPECT_GT(r.placed, 0);
+        EXPECT_GT(r.active, 0);
+        EXPECT_GT(r.totalOps, 100u);
+        EXPECT_GT(r.verifiedBlocks, 0u);
+        // The wave ran to completion over every slot fleet-wide.
+        EXPECT_EQ(r.waveOpsOk + r.waveOpsFailed,
+                  static_cast<std::uint32_t>(r.cards) * 2u);
+        // The drill opened its window and every node loss recovered.
+        EXPECT_EQ(r.faultWindows, 1u);
+        EXPECT_GT(r.nodeLosses, 0u);
+        if (r.totalErrors != 0)
+            EXPECT_GT(r.faultWindows, 0u);
+        EXPECT_LE(r.maxCompletionGap, sim::seconds(10));
+    }
+}
+
+TEST(Fuzz, FleetSeedsAreDeterministic)
+{
+    auto run = [] {
+        fuzz::FleetFuzzConfig cfg;
+        cfg.seed = 602;
+        cfg.horizon = sim::milliseconds(60);
+        fuzz::FleetFuzzer fuzzer(cfg);
+        return fuzzer.run();
+    };
+    fuzz::FleetFuzzReport a = run();
+    fuzz::FleetFuzzReport b = run();
+    EXPECT_EQ(a.cards, b.cards);
+    EXPECT_EQ(a.placed, b.placed);
+    EXPECT_EQ(a.refused, b.refused);
+    EXPECT_EQ(a.totalOps, b.totalOps);
+    EXPECT_EQ(a.totalErrors, b.totalErrors);
+    EXPECT_EQ(a.verifiedBlocks, b.verifiedBlocks);
+    EXPECT_EQ(a.waveOpsOk, b.waveOpsOk);
+    EXPECT_EQ(a.waveOpsFailed, b.waveOpsFailed);
+    EXPECT_EQ(a.waveMakespan, b.waveMakespan);
+    EXPECT_EQ(a.nodeLosses, b.nodeLosses);
+    EXPECT_EQ(a.stormRejections, b.stormRejections);
+    EXPECT_EQ(a.maxCompletionGap, b.maxCompletionGap);
+    // The op trace is the fleet's determinism fingerprint: same seed,
+    // same schedule, byte-identical operator history.
+    EXPECT_EQ(a.traceHash, b.traceHash);
+    EXPECT_EQ(a.finishedAt, b.finishedAt);
 }

@@ -813,6 +813,28 @@ lintFile(const std::string &filePath, const std::string &asPath)
     return lintContent(path, buf.str(), headerContent);
 }
 
+namespace {
+
+/** Fleet runs prefix every SimObject with "card<N>." (one simulated
+ *  card per prefix); the census identity is the per-card object, so
+ *  the prefix is stripped before comparing against a single-card
+ *  baseline. */
+std::string
+stripCardPrefix(const std::string &obj)
+{
+    if (obj.compare(0, 4, "card") != 0)
+        return obj;
+    std::size_t i = 4;
+    while (i < obj.size() &&
+           std::isdigit(static_cast<unsigned char>(obj[i])))
+        ++i;
+    if (i == 4 || i >= obj.size() || obj[i] != '.')
+        return obj;
+    return obj.substr(i + 1);
+}
+
+} // namespace
+
 std::vector<std::string>
 checkCensus(const std::string &baselinePath,
             const std::vector<std::string> &censusPaths,
@@ -837,7 +859,7 @@ checkCensus(const std::string &baselinePath,
             return false;
         std::string line;
         while (std::getline(f, line)) {
-            std::string obj = extract(line, "object");
+            std::string obj = stripCardPrefix(extract(line, "object"));
             std::string kind = extract(line, "kind");
             if (obj.empty() || kind.empty() || kind == "read-read")
                 continue; // cross-lane reads are commutative: not gated
@@ -918,7 +940,7 @@ mergeCensus(const std::string &outPath,
         std::string line;
         while (std::getline(f, line)) {
             unsigned long long n = 0;
-            std::string obj = extractStr(line, "object");
+            std::string obj = stripCardPrefix(extractStr(line, "object"));
             std::string kind = extractStr(line, "kind");
             if (obj.empty() || kind.empty()) {
                 // Header lines: take the per-process maxima/sums.
